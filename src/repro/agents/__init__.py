@@ -1,0 +1,34 @@
+"""HVAC control agents.
+
+All controllers evaluated in the paper are implemented here:
+
+* the building's **default rule-based controller** (schedule-based setpoints),
+* the **MBRL agent** (learned dynamics model + random-shooting optimiser,
+  the Mb2C-style baseline),
+* the **CLUE-style agent** (ensemble dynamics model with an epistemic
+  uncertainty fallback, the prior state of the art),
+* the **decision-tree agent** (the paper's contribution — a verified,
+  deterministic tree policy; see :mod:`repro.core`),
+* plus a random agent (exploration/testing) and an MPPI optimiser variant.
+"""
+
+from repro.agents.base import BaseAgent, RandomAgent, ConstantAgent
+from repro.agents.rule_based import RuleBasedAgent
+from repro.agents.random_shooting import RandomShootingOptimizer, OptimizationResult
+from repro.agents.mppi import MPPIOptimizer
+from repro.agents.mbrl import MBRLAgent
+from repro.agents.clue import CLUEAgent
+from repro.agents.dt_agent import DecisionTreeAgent
+
+__all__ = [
+    "BaseAgent",
+    "RandomAgent",
+    "ConstantAgent",
+    "RuleBasedAgent",
+    "RandomShootingOptimizer",
+    "OptimizationResult",
+    "MPPIOptimizer",
+    "MBRLAgent",
+    "CLUEAgent",
+    "DecisionTreeAgent",
+]

@@ -1,0 +1,67 @@
+"""Agent interface and trivial reference agents."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.env.hvac_env import HVACEnvironment
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+class BaseAgent:
+    """Interface shared by every controller.
+
+    ``select_action`` receives the current observation (the Table-1 vector),
+    the environment (for disturbance forecasts and the action space) and the
+    current step index, and returns a discrete action index of the
+    environment's :class:`~repro.env.spaces.SetpointSpace`.
+    """
+
+    #: Human-readable name used in result tables.
+    name: str = "base"
+
+    def select_action(
+        self, observation: np.ndarray, environment: HVACEnvironment, step: int
+    ) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called at the start of every episode; stateless agents need not override."""
+
+    def select_setpoints(
+        self, observation: np.ndarray, environment: HVACEnvironment, step: int
+    ) -> Tuple[int, int]:
+        """Convenience: the chosen action as a (heating, cooling) setpoint pair."""
+        action = self.select_action(observation, environment, step)
+        return environment.action_space.to_pair(action)
+
+
+class RandomAgent(BaseAgent):
+    """Uniformly random setpoints; used for exploration and as a sanity baseline."""
+
+    name = "random"
+
+    def __init__(self, seed: RNGLike = None):
+        self._rng = ensure_rng(seed)
+
+    def select_action(
+        self, observation: np.ndarray, environment: HVACEnvironment, step: int
+    ) -> int:
+        return environment.action_space.sample(self._rng)
+
+
+class ConstantAgent(BaseAgent):
+    """Always returns the same setpoint pair (useful in tests and ablations)."""
+
+    name = "constant"
+
+    def __init__(self, heating_setpoint: float, cooling_setpoint: float):
+        self.heating_setpoint = heating_setpoint
+        self.cooling_setpoint = cooling_setpoint
+
+    def select_action(
+        self, observation: np.ndarray, environment: HVACEnvironment, step: int
+    ) -> int:
+        return environment.action_space.to_index(self.heating_setpoint, self.cooling_setpoint)

@@ -1,0 +1,101 @@
+"""CLUE-style agent: MBRL with an epistemic-uncertainty fallback.
+
+CLUE (the paper's reference [1], its prior state of the art) augments the MBRL
+controller with an ensemble dynamics model.  When the ensemble disagrees about
+the consequence of the planned action — i.e. the controller is epistemically
+uncertain, typically because the current state is outside the training
+distribution — the agent falls back to the building's safe default rule-based
+setpoints instead of trusting the model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.base import BaseAgent
+from repro.agents.random_shooting import RandomShootingOptimizer
+from repro.agents.rule_based import RuleBasedAgent
+from repro.env.hvac_env import HVACEnvironment
+from repro.nn.dynamics import EnsembleDynamicsModel
+from repro.utils.config import RewardConfig
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+class CLUEAgent(BaseAgent):
+    """Ensemble-MBRL agent with uncertainty-triggered fallback to the default controller."""
+
+    name = "CLUE"
+
+    def __init__(
+        self,
+        dynamics_model: EnsembleDynamicsModel,
+        reward_config: Optional[RewardConfig] = None,
+        uncertainty_threshold: float = 0.5,
+        num_samples: int = 1000,
+        horizon: int = 20,
+        discount: float = 0.99,
+        fallback_agent: Optional[BaseAgent] = None,
+        seed: RNGLike = None,
+    ):
+        if uncertainty_threshold <= 0:
+            raise ValueError("uncertainty_threshold must be positive")
+        self.dynamics_model = dynamics_model
+        self.reward_config = reward_config or RewardConfig()
+        self.uncertainty_threshold = uncertainty_threshold
+        self.num_samples = num_samples
+        self.horizon = horizon
+        self.discount = discount
+        self.fallback_agent = fallback_agent or RuleBasedAgent(comfort=self.reward_config.comfort)
+        self._rng = ensure_rng(seed)
+        self._optimizer: Optional[RandomShootingOptimizer] = None
+        #: Number of decisions delegated to the fallback controller (diagnostics).
+        self.fallback_count = 0
+        self.decision_count = 0
+
+    def reset(self) -> None:
+        self._optimizer = None
+        self.fallback_count = 0
+        self.decision_count = 0
+
+    def _ensure_optimizer(self, environment: HVACEnvironment) -> RandomShootingOptimizer:
+        if self._optimizer is None:
+            self._optimizer = RandomShootingOptimizer(
+                dynamics_model=self.dynamics_model,
+                action_space=environment.action_space,
+                reward_config=self.reward_config,
+                action_config=environment.config.actions,
+                num_samples=self.num_samples,
+                horizon=self.horizon,
+                discount=self.discount,
+                seed=self._rng,
+            )
+        return self._optimizer
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of decisions delegated to the fallback controller so far."""
+        if self.decision_count == 0:
+            return 0.0
+        return self.fallback_count / self.decision_count
+
+    def select_action(
+        self, observation: np.ndarray, environment: HVACEnvironment, step: int
+    ) -> int:
+        self.decision_count += 1
+        optimizer = self._ensure_optimizer(environment)
+        horizon = max(min(self.horizon, environment.num_steps - step), 1)
+        disturbances = environment.disturbance_forecast(step, horizon)
+        occupied = [environment.occupied_at(step + k) for k in range(horizon)]
+        result = optimizer.plan(float(observation[0]), disturbances, occupied)
+
+        # Epistemic uncertainty of the planned first action's consequence.
+        heating, cooling = environment.action_space.to_pair(result.best_action_index)
+        _mean, std = self.dynamics_model.predict_next_state(
+            float(observation[0]), disturbances[0], (heating, cooling)
+        )
+        if std > self.uncertainty_threshold:
+            self.fallback_count += 1
+            return self.fallback_agent.select_action(observation, environment, step)
+        return result.best_action_index

@@ -1,0 +1,32 @@
+"""The decision-tree agent (the paper's contribution, deployment side).
+
+The agent wraps a :class:`repro.core.tree_policy.TreePolicy` — an extracted
+(and, typically, verified) decision tree — and evaluates it on the current
+``(s, d)`` observation.  Evaluation is a handful of float comparisons, which is
+where the 1000x-plus online-overhead reduction of Table 3 comes from, and the
+mapping from input to action is exactly deterministic (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.base import BaseAgent
+from repro.env.hvac_env import HVACEnvironment
+
+
+class DecisionTreeAgent(BaseAgent):
+    """Deploys an extracted decision-tree policy in the environment."""
+
+    name = "DT"
+
+    def __init__(self, policy):
+        # ``policy`` is a repro.core.tree_policy.TreePolicy; typed loosely to
+        # avoid an import cycle between agents and core.
+        self.policy = policy
+
+    def select_action(
+        self, observation: np.ndarray, environment: HVACEnvironment, step: int
+    ) -> int:
+        heating, cooling = self.policy.setpoints_for(np.asarray(observation, dtype=float))
+        return environment.action_space.to_index(heating, cooling)

@@ -1,0 +1,125 @@
+"""Model Predictive Path Integral (MPPI) optimiser.
+
+The paper mentions MPPI as the other stochastic optimiser used by MBRL HVAC
+controllers (its reference [1] uses it).  It is included both for completeness
+and for the optimiser ablation benchmark: MPPI perturbs a nominal setpoint
+sequence with Gaussian noise, weights the sampled sequences by the exponential
+of their returns and updates the nominal sequence towards the weighted mean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.agents.random_shooting import OptimizationResult
+from repro.env.spaces import SetpointSpace
+from repro.utils.config import ActionSpaceConfig, RewardConfig
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+class MPPIOptimizer:
+    """MPPI planner over continuous setpoints, projected to the discrete space."""
+
+    def __init__(
+        self,
+        dynamics_model,
+        action_space: SetpointSpace,
+        reward_config: RewardConfig,
+        action_config: Optional[ActionSpaceConfig] = None,
+        num_samples: int = 200,
+        horizon: int = 20,
+        num_iterations: int = 3,
+        temperature: float = 1.0,
+        noise_std: float = 2.0,
+        discount: float = 0.99,
+        seed: RNGLike = None,
+    ):
+        if num_samples <= 0 or horizon <= 0 or num_iterations <= 0:
+            raise ValueError("num_samples, horizon and num_iterations must be positive")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.dynamics_model = dynamics_model
+        self.action_space = action_space
+        self.reward_config = reward_config
+        self.action_config = action_config or action_space.config
+        self.num_samples = num_samples
+        self.horizon = horizon
+        self.num_iterations = num_iterations
+        self.temperature = temperature
+        self.noise_std = noise_std
+        self.discount = discount
+        self._rng = ensure_rng(seed)
+
+    def plan(
+        self,
+        state: float,
+        disturbance_forecast: np.ndarray,
+        occupied_forecast: Sequence[bool],
+        rng: RNGLike = None,
+    ) -> OptimizationResult:
+        """Run MPPI from ``state`` and return the best first action."""
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        disturbance_forecast = np.atleast_2d(np.asarray(disturbance_forecast, dtype=float))
+        horizon = min(self.horizon, len(disturbance_forecast))
+        occupied = list(occupied_forecast)
+        if len(occupied) < horizon:
+            raise ValueError("occupied_forecast must cover the planning horizon")
+        cfg = self.action_config
+
+        # Nominal sequence: hold the comfort midpoint for heating, max cooling.
+        nominal_heating = np.full(horizon, self.reward_config.comfort.midpoint)
+        nominal_cooling = np.full(horizon, float(cfg.cooling_max))
+
+        for _iteration in range(self.num_iterations):
+            noise_h = generator.normal(0.0, self.noise_std, size=(self.num_samples, horizon))
+            noise_c = generator.normal(0.0, self.noise_std, size=(self.num_samples, horizon))
+            heating = np.clip(nominal_heating + noise_h, cfg.heating_min, cfg.heating_max)
+            cooling = np.clip(nominal_cooling + noise_c, cfg.cooling_min, cfg.cooling_max)
+            cooling = np.maximum(cooling, heating)
+
+            states = np.full(self.num_samples, float(state))
+            returns = np.zeros(self.num_samples)
+            off_heating, off_cooling = cfg.off_setpoints()
+            comfort = self.reward_config.comfort
+            for t in range(horizon):
+                actions = np.column_stack([heating[:, t], cooling[:, t]])
+                disturbances = np.repeat(
+                    disturbance_forecast[t].reshape(1, -1), self.num_samples, axis=0
+                )
+                next_states = self._predict(states, disturbances, actions)
+                energy = np.abs(heating[:, t] - off_heating) + np.abs(cooling[:, t] - off_cooling)
+                above = np.maximum(next_states - comfort.upper, 0.0)
+                below = np.maximum(comfort.lower - next_states, 0.0)
+                w_e = self.reward_config.energy_weight(occupied[t])
+                returns += (self.discount**t) * (-w_e * energy - (1.0 - w_e) * (above + below))
+                states = next_states
+
+            weights = np.exp((returns - returns.max()) / self.temperature)
+            weights /= weights.sum()
+            nominal_heating = weights @ heating
+            nominal_cooling = np.maximum(weights @ cooling, nominal_heating)
+
+        best_pair = cfg.clip(nominal_heating[0], nominal_cooling[0])
+        best_index = self.action_space.to_index(*best_pair)
+        best_sequence = np.array(
+            [
+                self.action_space.to_index(*cfg.clip(h, c))
+                for h, c in zip(nominal_heating, nominal_cooling)
+            ]
+        )
+        return OptimizationResult(
+            best_action_index=best_index,
+            best_sequence=best_sequence,
+            best_return=float(returns.max()),
+            first_action_returns={best_index: float(returns.max())},
+        )
+
+    def _predict(
+        self, states: np.ndarray, disturbances: np.ndarray, actions: np.ndarray
+    ) -> np.ndarray:
+        prediction = self.dynamics_model.predict(states, disturbances, actions)
+        if isinstance(prediction, tuple):
+            return prediction[0]
+        return prediction

@@ -1,0 +1,154 @@
+"""The Random Shooting (RS) stochastic optimiser.
+
+RS is the stochastic optimiser used by the paper's MBRL baseline and by the
+decision-dataset generator: it samples ``num_samples`` random action sequences
+of length ``horizon``, rolls each sequence through the learned dynamics model
+under the disturbance forecast, scores it with the discounted Eq. 2 reward and
+executes the first action of the best sequence (Eq. 1 of the paper).
+
+Because the candidate sequences are random, RS is itself a *stochastic policy*:
+two calls on the same input can return different actions.  That stochasticity
+is exactly the motivation experiment of the paper (Fig. 1), and the paper's
+distillation step removes it by taking the most frequent action over repeated
+RS runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.env.reward import comfort_violation_amount, setpoint_energy_proxy
+from repro.env.spaces import SetpointSpace
+from repro.utils.config import ActionSpaceConfig, RewardConfig
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one RS planning call."""
+
+    best_action_index: int
+    best_sequence: np.ndarray
+    best_return: float
+    first_action_returns: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def best_setpoints(self) -> Optional[Tuple[int, int]]:
+        return None  # filled by callers that know the action space
+
+
+class RandomShootingOptimizer:
+    """Random-shooting planner over the discrete setpoint space."""
+
+    def __init__(
+        self,
+        dynamics_model,
+        action_space: SetpointSpace,
+        reward_config: RewardConfig,
+        action_config: Optional[ActionSpaceConfig] = None,
+        num_samples: int = 1000,
+        horizon: int = 20,
+        discount: float = 0.99,
+        seed: RNGLike = None,
+    ):
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if not (0.0 < discount <= 1.0):
+            raise ValueError("discount must be in (0, 1]")
+        self.dynamics_model = dynamics_model
+        self.action_space = action_space
+        self.reward_config = reward_config
+        self.action_config = action_config or action_space.config
+        self.num_samples = num_samples
+        self.horizon = horizon
+        self.discount = discount
+        self._rng = ensure_rng(seed)
+        # Pre-compute the (index -> setpoint pair) table as an array for fast lookup.
+        self._pairs = np.array(action_space.pairs, dtype=float)
+
+    # ----------------------------------------------------------------- reward
+    def _step_rewards(
+        self, next_states: np.ndarray, action_indices: np.ndarray, occupied: bool
+    ) -> np.ndarray:
+        """Vectorised Eq. 2 over a batch of predicted next states and actions."""
+        pairs = self._pairs[action_indices]
+        off_heating, off_cooling = self.action_config.off_setpoints()
+        energy = np.abs(pairs[:, 0] - off_heating) + np.abs(pairs[:, 1] - off_cooling)
+        comfort = self.reward_config.comfort
+        above = np.maximum(next_states - comfort.upper, 0.0)
+        below = np.maximum(comfort.lower - next_states, 0.0)
+        w_e = self.reward_config.energy_weight(occupied)
+        return -w_e * energy - (1.0 - w_e) * (above + below)
+
+    # ------------------------------------------------------------------- plan
+    def plan(
+        self,
+        state: float,
+        disturbance_forecast: np.ndarray,
+        occupied_forecast: Sequence[bool],
+        rng: RNGLike = None,
+    ) -> OptimizationResult:
+        """Run one random-shooting optimisation from ``state``.
+
+        Parameters
+        ----------
+        state:
+            Current controlled-zone temperature.
+        disturbance_forecast:
+            ``(H, 5)`` disturbances for the next ``H >= horizon`` steps.
+        occupied_forecast:
+            Occupied flags for the same steps (controls the reward weight).
+        rng:
+            Optional generator overriding the optimiser's own (used by the
+            Monte-Carlo distillation, which needs independent repeated runs).
+        """
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        disturbance_forecast = np.atleast_2d(np.asarray(disturbance_forecast, dtype=float))
+        horizon = min(self.horizon, len(disturbance_forecast))
+        if horizon == 0:
+            raise ValueError("disturbance_forecast must cover at least one step")
+        occupied = list(occupied_forecast)
+        if len(occupied) < horizon:
+            raise ValueError("occupied_forecast must cover the planning horizon")
+
+        sequences = generator.integers(0, self.action_space.n, size=(self.num_samples, horizon))
+        states = np.full(self.num_samples, float(state))
+        returns = np.zeros(self.num_samples)
+
+        for t in range(horizon):
+            action_indices = sequences[:, t]
+            actions = self._pairs[action_indices]
+            disturbances = np.repeat(
+                disturbance_forecast[t].reshape(1, -1), self.num_samples, axis=0
+            )
+            next_states = self._predict(states, disturbances, actions)
+            returns += (self.discount**t) * self._step_rewards(
+                next_states, action_indices, occupied[t]
+            )
+            states = next_states
+
+        best = int(np.argmax(returns))
+        first_actions = sequences[:, 0]
+        first_action_returns: Dict[int, float] = {}
+        for action in np.unique(first_actions):
+            first_action_returns[int(action)] = float(returns[first_actions == action].max())
+        return OptimizationResult(
+            best_action_index=int(sequences[best, 0]),
+            best_sequence=sequences[best].copy(),
+            best_return=float(returns[best]),
+            first_action_returns=first_action_returns,
+        )
+
+    def _predict(
+        self, states: np.ndarray, disturbances: np.ndarray, actions: np.ndarray
+    ) -> np.ndarray:
+        """Predict next states; ensemble models return (mean, std) tuples."""
+        prediction = self.dynamics_model.predict(states, disturbances, actions)
+        if isinstance(prediction, tuple):
+            return prediction[0]
+        return prediction

@@ -1,0 +1,57 @@
+"""The building's default rule-based controller.
+
+This is the schedule controller buildings ship with (and the "default" baseline
+of the paper's Fig. 4 / Table 3): during occupied hours it holds the setpoints
+at the edges of the comfort band (optionally with a pre-heating window before
+occupancy starts); outside occupied hours it sets back to the widest, cheapest
+setpoints.  Its online computation cost is effectively zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.base import BaseAgent
+from repro.env.hvac_env import HVACEnvironment
+from repro.utils.config import ComfortConfig
+
+
+class RuleBasedAgent(BaseAgent):
+    """Schedule-based setpoint controller."""
+
+    name = "default"
+
+    def __init__(
+        self,
+        comfort: Optional[ComfortConfig] = None,
+        preheat_hours: float = 1.0,
+        setback_margin: float = 0.0,
+    ):
+        self.comfort = comfort or ComfortConfig.winter()
+        self.preheat_hours = float(preheat_hours)
+        self.setback_margin = float(setback_margin)
+
+    def select_action(
+        self, observation: np.ndarray, environment: HVACEnvironment, step: int
+    ) -> int:
+        actions = environment.config.actions
+        occupied = environment.occupied_at(step)
+        preheating = False
+        if not occupied and self.preheat_hours > 0:
+            # Look ahead: occupied within the pre-heat window?
+            steps_per_hour = environment.config.simulation.steps_per_hour
+            lookahead = int(round(self.preheat_hours * steps_per_hour))
+            preheating = any(
+                environment.occupied_at(step + k)
+                for k in range(1, lookahead + 1)
+                if step + k < environment.num_steps
+            )
+        if occupied or preheating:
+            heating = self.comfort.lower + self.setback_margin
+            cooling = self.comfort.upper - self.setback_margin
+        else:
+            heating, cooling = actions.off_setpoints()
+        heating_sp, cooling_sp = actions.clip(heating, cooling)
+        return environment.action_space.to_index(heating_sp, cooling_sp)

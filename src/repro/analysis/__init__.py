@@ -1,0 +1,35 @@
+"""Analysis utilities: distribution statistics and decision-stochasticity studies.
+
+These support the paper's preliminary experiments — the Fig. 1 motivation study
+(how stochastic the MBRL controller's setpoint decisions are under identical
+conditions) and the Fig. 3 noise-level study (Jensen-Shannon distance and
+information entropy of the augmented historical-data distribution).
+"""
+
+from repro.analysis.distributions import (
+    histogram_distribution,
+    information_entropy,
+    jensen_shannon_distance,
+    jensen_shannon_divergence,
+    dataset_entropy,
+    dataset_jsd,
+)
+from repro.analysis.stochasticity import (
+    SetpointTrace,
+    StochasticityReport,
+    collect_setpoint_traces,
+    analyze_stochasticity,
+)
+
+__all__ = [
+    "histogram_distribution",
+    "information_entropy",
+    "jensen_shannon_distance",
+    "jensen_shannon_divergence",
+    "dataset_entropy",
+    "dataset_jsd",
+    "SetpointTrace",
+    "StochasticityReport",
+    "collect_setpoint_traces",
+    "analyze_stochasticity",
+]

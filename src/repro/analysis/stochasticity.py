@@ -1,0 +1,135 @@
+"""Decision-stochasticity analysis (the Fig. 1 / Fig. 5 experiments).
+
+The paper's motivation experiment runs the MBRL controller 10 times over the
+same simulated day with identical disturbances and shows that its heating
+setpoints vary widely (mean +/- one standard deviation band, plus the setpoint
+probability histogram at a fixed time).  The same harness run on the extracted
+decision-tree policy shows a standard deviation of exactly zero — the policy is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.agents.base import BaseAgent
+from repro.env.hvac_env import HVACEnvironment
+
+
+@dataclass
+class SetpointTrace:
+    """Heating setpoints selected by one agent over repeated identical runs.
+
+    ``setpoints`` has shape ``(num_runs, num_steps)``.
+    """
+
+    agent_name: str
+    hours: np.ndarray
+    setpoints: np.ndarray
+
+    @property
+    def num_runs(self) -> int:
+        return self.setpoints.shape[0]
+
+    @property
+    def num_steps(self) -> int:
+        return self.setpoints.shape[1]
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.setpoints.mean(axis=0)
+
+    @property
+    def std(self) -> np.ndarray:
+        return self.setpoints.std(axis=0)
+
+
+@dataclass
+class StochasticityReport:
+    """Summary statistics of a :class:`SetpointTrace`."""
+
+    agent_name: str
+    mean_std: float
+    max_std: float
+    is_deterministic: bool
+    setpoint_probabilities: Dict[float, float] = field(default_factory=dict)
+
+    @staticmethod
+    def from_trace(trace: SetpointTrace, probe_step: Optional[int] = None) -> "StochasticityReport":
+        std = trace.std
+        probe = probe_step if probe_step is not None else trace.num_steps // 2
+        probe = min(max(probe, 0), trace.num_steps - 1)
+        values, counts = np.unique(trace.setpoints[:, probe], return_counts=True)
+        probabilities = {float(v): float(c) / trace.num_runs for v, c in zip(values, counts)}
+        return StochasticityReport(
+            agent_name=trace.agent_name,
+            mean_std=float(std.mean()),
+            max_std=float(std.max()),
+            is_deterministic=bool(np.all(std < 1e-9)),
+            setpoint_probabilities=probabilities,
+        )
+
+
+def collect_setpoint_traces(
+    agent: BaseAgent,
+    environment_factory: Callable[[], HVACEnvironment],
+    num_runs: int = 10,
+    start_hour: float = 8.0,
+    end_hour: float = 22.0,
+    day_index: int = 0,
+) -> SetpointTrace:
+    """Query the agent repeatedly over one day with fixed disturbances.
+
+    Every run uses a freshly-built environment from ``environment_factory`` so
+    the weather, occupancy and plant state are identical across runs; only the
+    agent's internal randomness (if any) differs.  To isolate *decision*
+    stochasticity from closed-loop drift, the plant is driven by the agent's
+    own decisions within each run (as in the paper's experiment) but every run
+    starts from the same initial conditions.
+    """
+    if num_runs <= 0:
+        raise ValueError("num_runs must be positive")
+    all_setpoints: List[List[float]] = []
+    hours: List[float] = []
+    for run in range(num_runs):
+        environment = environment_factory()
+        observation, _info = environment.reset()
+        agent.reset()
+        run_setpoints: List[float] = []
+        run_hours: List[float] = []
+        steps_per_day = environment.config.simulation.steps_per_day
+        start_step = day_index * steps_per_day
+        # Advance (with the default schedule) to the start of the analysis window.
+        for step in range(start_step, min(environment.num_steps, (day_index + 1) * steps_per_day)):
+            hour = environment.hour_of_day_at(step)
+            action = agent.select_action(observation, environment, step)
+            heating, _cooling = environment.action_space.to_pair(action)
+            if start_hour <= hour <= end_hour:
+                run_setpoints.append(float(heating))
+                run_hours.append(hour)
+            result = environment.step(action)
+            observation = result.observation
+            if result.truncated:
+                break
+        all_setpoints.append(run_setpoints)
+        if run == 0:
+            hours = run_hours
+    # Defensive: all runs should have identical length since conditions are identical.
+    min_len = min(len(run) for run in all_setpoints)
+    matrix = np.array([run[:min_len] for run in all_setpoints])
+    return SetpointTrace(
+        agent_name=agent.name, hours=np.array(hours[:min_len]), setpoints=matrix
+    )
+
+
+def analyze_stochasticity(
+    trace: SetpointTrace, probe_hour: Optional[float] = None
+) -> StochasticityReport:
+    """Summarise a setpoint trace; optionally probe the distribution at a given hour."""
+    probe_step = None
+    if probe_hour is not None and len(trace.hours) > 0:
+        probe_step = int(np.argmin(np.abs(trace.hours - probe_hour)))
+    return StochasticityReport.from_trace(trace, probe_step=probe_step)

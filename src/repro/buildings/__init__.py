@@ -1,0 +1,39 @@
+"""Reduced-order building thermal simulation (EnergyPlus substitute).
+
+The paper simulates a 463 m^2 five-zone building with EnergyPlus.  This package
+implements the standard reduced-order abstraction of that plant: a multi-zone
+RC (resistor-capacitor) thermal network with
+
+* per-zone thermal capacitance and envelope conductance,
+* inter-zone conductive coupling,
+* wind-dependent infiltration,
+* solar and internal (occupant + equipment) heat gains,
+* an idealised setpoint-tracking HVAC unit per zone with finite capacity and a
+  COP-based electric energy meter.
+
+The controlled state exposed to agents is the temperature of a designated
+controlled zone, matching the paper's single-zone state formulation; the
+setpoint action is broadcast to every zone's HVAC unit, matching the Sinergym
+5-zone environment used by the paper.
+"""
+
+from repro.buildings.zones import ZoneParameters, InterZoneCoupling, five_zone_layout
+from repro.buildings.occupancy import OccupancySchedule, office_schedule
+from repro.buildings.hvac import HVACUnit, HVACResult
+from repro.buildings.thermal import ThermalNetwork, ThermalState
+from repro.buildings.building import Building, BuildingStepResult, make_five_zone_building
+
+__all__ = [
+    "ZoneParameters",
+    "InterZoneCoupling",
+    "five_zone_layout",
+    "OccupancySchedule",
+    "office_schedule",
+    "HVACUnit",
+    "HVACResult",
+    "ThermalNetwork",
+    "ThermalState",
+    "Building",
+    "BuildingStepResult",
+    "make_five_zone_building",
+]

@@ -1,0 +1,92 @@
+"""Idealised setpoint-tracking HVAC terminal unit with an energy meter.
+
+Each zone has one unit.  Given the current zone temperature and the
+heating/cooling setpoints selected by the controller, the unit behaves like a
+proportional thermostat with finite capacity:
+
+* if the zone is colder than ``heating_setpoint`` it delivers heating power
+  proportional to the deficit (capped at the heating capacity),
+* if the zone is warmer than ``cooling_setpoint`` it removes heat likewise,
+* in between it idles apart from a small fan/parasitic draw while occupied.
+
+Electric energy is metered through a COP per mode (heat-pump style), which is
+how the kWh figures in the Fig. 4 reproduction are produced.  The reward
+function (Eq. 2) does *not* use this meter — it uses the paper's setpoint-based
+proxy — but the evaluation reports real metered energy, as EnergyPlus does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.buildings.zones import ZoneParameters
+
+
+@dataclass(frozen=True)
+class HVACResult:
+    """Outcome of one HVAC evaluation for one zone over one sub-step."""
+
+    thermal_power_w: float
+    electric_power_w: float
+    mode: str  # "heating", "cooling" or "idle"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("heating", "cooling", "idle"):
+            raise ValueError(f"Unknown HVAC mode {self.mode!r}")
+
+
+class HVACUnit:
+    """Proportional setpoint-tracking HVAC unit for one zone."""
+
+    def __init__(
+        self,
+        zone: ZoneParameters,
+        heating_cop: float = 3.2,
+        cooling_cop: float = 3.4,
+        proportional_gain_w_per_k: float = 2500.0,
+        deadband_k: float = 0.1,
+        parasitic_power_w: float = 25.0,
+    ):
+        if heating_cop <= 0 or cooling_cop <= 0:
+            raise ValueError("COPs must be positive")
+        if proportional_gain_w_per_k <= 0:
+            raise ValueError("proportional_gain_w_per_k must be positive")
+        self.zone = zone
+        self.heating_cop = heating_cop
+        self.cooling_cop = cooling_cop
+        self.proportional_gain_w_per_k = proportional_gain_w_per_k
+        self.deadband_k = deadband_k
+        self.parasitic_power_w = parasitic_power_w
+
+    def evaluate(
+        self,
+        zone_temperature_c: float,
+        heating_setpoint_c: float,
+        cooling_setpoint_c: float,
+        occupied: bool = True,
+    ) -> HVACResult:
+        """Compute the thermal power injected into the zone and electric draw."""
+        if heating_setpoint_c > cooling_setpoint_c:
+            raise ValueError(
+                "heating setpoint must not exceed cooling setpoint "
+                f"({heating_setpoint_c} > {cooling_setpoint_c})"
+            )
+        heating_error = heating_setpoint_c - zone_temperature_c
+        cooling_error = zone_temperature_c - cooling_setpoint_c
+
+        if heating_error > self.deadband_k:
+            thermal = min(
+                self.proportional_gain_w_per_k * heating_error, self.zone.max_heating_power_w
+            )
+            electric = thermal / self.heating_cop + self.parasitic_power_w
+            return HVACResult(thermal_power_w=thermal, electric_power_w=electric, mode="heating")
+
+        if cooling_error > self.deadband_k:
+            thermal = min(
+                self.proportional_gain_w_per_k * cooling_error, self.zone.max_cooling_power_w
+            )
+            electric = thermal / self.cooling_cop + self.parasitic_power_w
+            return HVACResult(thermal_power_w=-thermal, electric_power_w=electric, mode="cooling")
+
+        idle_draw = self.parasitic_power_w if occupied else 0.0
+        return HVACResult(thermal_power_w=0.0, electric_power_w=idle_draw, mode="idle")

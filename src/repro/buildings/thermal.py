@@ -1,0 +1,164 @@
+"""Multi-zone RC thermal network.
+
+The network integrates the zone heat balance
+
+    C_i dT_i/dt = UA_env,i (T_out - T_i)
+                + UA_inf,i(wind) (T_out - T_i)
+                + sum_j UA_ij (T_j - T_i)
+                + Q_hvac,i + Q_solar,i + Q_internal,i
+
+with forward-Euler sub-steps inside each control timestep.  Sub-stepping keeps
+the explicit integration stable for the zone time constants used here (tens of
+hours) at a 1-minute sub-step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.buildings.zones import InterZoneCoupling, ZoneParameters, zone_index_map
+
+#: Sensible heat gain per occupant (W), a standard office value.
+OCCUPANT_GAIN_W = 90.0
+
+
+@dataclass
+class ThermalState:
+    """Zone temperatures of the network (degrees C)."""
+
+    temperatures: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.temperatures = np.asarray(self.temperatures, dtype=float)
+        if self.temperatures.ndim != 1:
+            raise ValueError("temperatures must be a 1-D array")
+
+    def copy(self) -> "ThermalState":
+        return ThermalState(self.temperatures.copy())
+
+    def __len__(self) -> int:
+        return len(self.temperatures)
+
+
+@dataclass
+class ZoneGains:
+    """External heat inputs to one zone over one control step (W, averaged)."""
+
+    hvac_thermal_w: float = 0.0
+    solar_w: float = 0.0
+    internal_w: float = 0.0
+
+    @property
+    def total_w(self) -> float:
+        return self.hvac_thermal_w + self.solar_w + self.internal_w
+
+
+class ThermalNetwork:
+    """RC thermal network over a list of zones with inter-zone couplings."""
+
+    def __init__(
+        self,
+        zones: Sequence[ZoneParameters],
+        couplings: Sequence[InterZoneCoupling],
+        substep_seconds: float = 60.0,
+    ):
+        if not zones:
+            raise ValueError("At least one zone is required")
+        if substep_seconds <= 0:
+            raise ValueError("substep_seconds must be positive")
+        self.zones = list(zones)
+        self.couplings = list(couplings)
+        self.substep_seconds = float(substep_seconds)
+        self._index = zone_index_map(self.zones)
+
+        n = len(self.zones)
+        self._capacitance = np.array([z.thermal_capacitance_j_per_k for z in self.zones])
+        self._envelope_ua = np.array([z.envelope_ua_w_per_k for z in self.zones])
+        self._infiltration_per_wind = np.array(
+            [z.infiltration_ua_per_wind_w_per_k_per_ms for z in self.zones]
+        )
+        self._coupling_matrix = np.zeros((n, n))
+        for coupling in self.couplings:
+            if coupling.zone_a not in self._index or coupling.zone_b not in self._index:
+                raise KeyError(
+                    f"Coupling references unknown zone: {coupling.zone_a!r}/{coupling.zone_b!r}"
+                )
+            a, b = self._index[coupling.zone_a], self._index[coupling.zone_b]
+            self._coupling_matrix[a, b] += coupling.ua_w_per_k
+            self._coupling_matrix[b, a] += coupling.ua_w_per_k
+
+    @property
+    def zone_names(self) -> List[str]:
+        return [z.name for z in self.zones]
+
+    def zone_index(self, name: str) -> int:
+        return self._index[name]
+
+    def initial_state(self, temperature_c: float = 20.0) -> ThermalState:
+        """A uniform-temperature initial state."""
+        return ThermalState(np.full(len(self.zones), float(temperature_c)))
+
+    def step(
+        self,
+        state: ThermalState,
+        outdoor_temperature_c: float,
+        wind_speed_ms: float,
+        gains: Dict[str, ZoneGains],
+        duration_seconds: float,
+    ) -> ThermalState:
+        """Advance the network by ``duration_seconds`` with constant boundary conditions."""
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        temps = state.temperatures.copy()
+        n = len(self.zones)
+        gain_vector = np.zeros(n)
+        for name, zone_gains in gains.items():
+            gain_vector[self._index[name]] = zone_gains.total_w
+
+        effective_ua = self._envelope_ua + self._infiltration_per_wind * max(wind_speed_ms, 0.0)
+
+        remaining = float(duration_seconds)
+        dt = self.substep_seconds
+        while remaining > 1e-9:
+            h = min(dt, remaining)
+            envelope_flow = effective_ua * (outdoor_temperature_c - temps)
+            inter_zone_flow = self._coupling_matrix @ temps - self._coupling_matrix.sum(axis=1) * temps
+            d_temps = (envelope_flow + inter_zone_flow + gain_vector) / self._capacitance
+            temps = temps + h * d_temps
+            remaining -= h
+        return ThermalState(temps)
+
+    def steady_state_temperature(
+        self, outdoor_temperature_c: float, wind_speed_ms: float, gains: Dict[str, ZoneGains]
+    ) -> np.ndarray:
+        """Solve the steady-state zone temperatures for constant conditions.
+
+        Useful for sanity checks and property tests: with zero gains the steady
+        state equals the outdoor temperature in every zone.
+        """
+        n = len(self.zones)
+        gain_vector = np.zeros(n)
+        for name, zone_gains in gains.items():
+            gain_vector[self._index[name]] = zone_gains.total_w
+        effective_ua = self._envelope_ua + self._infiltration_per_wind * max(wind_speed_ms, 0.0)
+        # Build the linear system A T = b from the heat balance at equilibrium.
+        a_matrix = np.diag(effective_ua + self._coupling_matrix.sum(axis=1)) - self._coupling_matrix
+        b_vector = effective_ua * outdoor_temperature_c + gain_vector
+        return np.linalg.solve(a_matrix, b_vector)
+
+
+def solar_gain_for_zone(zone: ZoneParameters, solar_radiation_w_m2: float) -> float:
+    """Solar heat gain of a zone given global horizontal irradiance."""
+    return max(solar_radiation_w_m2, 0.0) * zone.window_area_m2 * zone.solar_heat_gain_coefficient
+
+
+def internal_gain_for_zone(
+    zone: ZoneParameters, occupant_count: float, occupied: bool, zone_area_share: float
+) -> float:
+    """Internal gain: occupants (distributed by floor-area share) plus equipment."""
+    occupant_gain = OCCUPANT_GAIN_W * occupant_count * zone_area_share
+    equipment_gain = zone.equipment_gain_w if occupied else 0.1 * zone.equipment_gain_w
+    return occupant_gain + equipment_gain

@@ -1,0 +1,66 @@
+"""The paper's core contribution: verifiable decision-tree HVAC policies.
+
+The pipeline (Fig. 2, left) is::
+
+    historical data ──> dynamics model ──> RS optimiser
+                                   │             │
+                                   └── decision dataset (Monte-Carlo distillation,
+                                        importance sampling on historical data)
+                                                 │
+                                            CART tree
+                                                 │
+                            formal + probabilistic verification (and correction)
+                                                 │
+                                           deployable policy
+
+Modules:
+
+* :mod:`repro.core.criteria` — the domain-specific verification criteria (Eq. 4).
+* :mod:`repro.core.sampling` — historical-data-conditioned importance sampling
+  with Gaussian noise augmentation (Eq. 5) and the noise-level study.
+* :mod:`repro.core.decision_dataset` — decision-dataset generation by
+  Monte-Carlo distillation of the stochastic optimiser.
+* :mod:`repro.core.tree_policy` — the deployable decision-tree policy object.
+* :mod:`repro.core.extraction` — CART fitting / policy extraction.
+* :mod:`repro.core.verification` — Algorithm 1 (formal decision-path
+  verification with leaf correction) and the one-step probabilistic verifier.
+* :mod:`repro.core.pipeline` — the end-to-end extract-verify-deploy pipeline.
+"""
+
+from repro.core.criteria import SafetySpec, VerificationCriteria
+from repro.core.sampling import AugmentedHistoricalSampler, NoiseLevelStudy, noise_level_study
+from repro.core.decision_dataset import DecisionDataset, DecisionDatasetGenerator
+from repro.core.tree_policy import TreePolicy, POLICY_FEATURE_NAMES
+from repro.core.extraction import PolicyExtractor, extract_tree_policy
+from repro.core.verification import (
+    FormalVerificationReport,
+    ProbabilisticVerificationReport,
+    VerificationSummary,
+    verify_criteria_2_3,
+    verify_criterion_1,
+    verify_policy,
+)
+from repro.core.pipeline import PipelineConfig, PipelineResult, VerifiedPolicyPipeline
+
+__all__ = [
+    "SafetySpec",
+    "VerificationCriteria",
+    "AugmentedHistoricalSampler",
+    "NoiseLevelStudy",
+    "noise_level_study",
+    "DecisionDataset",
+    "DecisionDatasetGenerator",
+    "TreePolicy",
+    "POLICY_FEATURE_NAMES",
+    "PolicyExtractor",
+    "extract_tree_policy",
+    "FormalVerificationReport",
+    "ProbabilisticVerificationReport",
+    "VerificationSummary",
+    "verify_criteria_2_3",
+    "verify_criterion_1",
+    "verify_policy",
+    "PipelineConfig",
+    "PipelineResult",
+    "VerifiedPolicyPipeline",
+]

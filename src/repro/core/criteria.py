@@ -1,0 +1,127 @@
+"""Verification criteria for HVAC control policies (Section 3.1, Eq. 4).
+
+The paper partitions the policy-input space by domain knowledge into three
+subsets and attaches one criterion to each:
+
+* **Criterion #1** (zone temperature inside the comfort range): the
+  probability that the closed-loop system stays inside the comfort range must
+  exceed a threshold ``l`` chosen by the building manager.  This criterion is
+  probabilistic and is checked by Monte-Carlo estimation over the (augmented)
+  historical input distribution.
+* **Criterion #2** (zone too warm, ``s > z_upper``): the policy's effective
+  setpoint must lie *below* the current zone temperature, so the HVAC drives
+  the temperature back down.  This is a formal, 100% criterion.
+* **Criterion #3** (zone too cold, ``s < z_lower``): symmetric — the setpoint
+  must lie *above* the zone temperature.  Also formal.
+
+Because the action in this platform is a (heating, cooling) setpoint pair, the
+"setpoint" compared against the zone temperature is the cooling setpoint for
+criterion #2 (responsive cooling) and the heating setpoint for criterion #3
+(responsive heating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.utils.config import ComfortConfig
+
+
+@dataclass(frozen=True)
+class SafetySpec:
+    """The set of safe states: zone temperatures within the comfort range."""
+
+    comfort: ComfortConfig = field(default_factory=ComfortConfig.winter)
+
+    @property
+    def lower(self) -> float:
+        return self.comfort.lower
+
+    @property
+    def upper(self) -> float:
+        return self.comfort.upper
+
+    def is_safe(self, zone_temperature: float) -> bool:
+        return self.comfort.contains(zone_temperature)
+
+    def classify_state(self, zone_temperature: float) -> str:
+        """Which input subset a zone temperature belongs to.
+
+        Returns ``"comfortable"`` (criterion #1 applies), ``"too_warm"``
+        (criterion #2) or ``"too_cold"`` (criterion #3).
+        """
+        if zone_temperature > self.upper:
+            return "too_warm"
+        if zone_temperature < self.lower:
+            return "too_cold"
+        return "comfortable"
+
+
+@dataclass(frozen=True)
+class VerificationCriteria:
+    """The complete Eq. 4 verification specification.
+
+    Parameters
+    ----------
+    safety:
+        The comfort range defining safe states.
+    safe_probability_threshold:
+        The threshold ``l`` of criterion #1, specified by the building manager.
+    horizon:
+        The reachability horizon ``H`` of criterion #1.  The one-step
+        verification procedure of the paper makes the estimate independent of
+        ``H`` (see :func:`repro.core.verification.verify_criterion_1`), but the
+        horizon is kept for bootstrapped verification and reporting.
+    """
+
+    safety: SafetySpec = field(default_factory=SafetySpec)
+    safe_probability_threshold: float = 0.9
+    horizon: int = 20
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.safe_probability_threshold < 1.0):
+            raise ValueError("safe_probability_threshold must be in (0, 1)")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    # ------------------------------------------------------------ criterion 2
+    def criterion_2_satisfied(
+        self, zone_temperature: float, heating_setpoint: float, cooling_setpoint: float
+    ) -> bool:
+        """If the zone is too warm, the (cooling) setpoint must be below the zone temperature."""
+        if zone_temperature <= self.safety.upper:
+            return True  # criterion does not apply
+        return cooling_setpoint < zone_temperature
+
+    # ------------------------------------------------------------ criterion 3
+    def criterion_3_satisfied(
+        self, zone_temperature: float, heating_setpoint: float, cooling_setpoint: float
+    ) -> bool:
+        """If the zone is too cold, the (heating) setpoint must be above the zone temperature."""
+        if zone_temperature >= self.safety.lower:
+            return True  # criterion does not apply
+        return heating_setpoint > zone_temperature
+
+    # --------------------------------------------------------------- combined
+    def formal_criteria_satisfied(
+        self, zone_temperature: float, heating_setpoint: float, cooling_setpoint: float
+    ) -> bool:
+        """Criteria #2 and #3 together (the formal part of Eq. 4)."""
+        return self.criterion_2_satisfied(
+            zone_temperature, heating_setpoint, cooling_setpoint
+        ) and self.criterion_3_satisfied(zone_temperature, heating_setpoint, cooling_setpoint)
+
+    def corrective_setpoints(self) -> Tuple[float, float]:
+        """The corrected setpoints used when a leaf fails a formal criterion.
+
+        The paper corrects a failed leaf by setting its setpoint to the median
+        of the comfort zone, which always drives the zone temperature towards
+        the comfort range regardless of which side it violated.
+        """
+        midpoint = self.safety.comfort.midpoint
+        return midpoint, midpoint
+
+    def criterion_1_satisfied(self, safe_probability: float) -> bool:
+        """Whether an estimated safe probability passes the threshold ``l``."""
+        return safe_probability > self.safe_probability_threshold

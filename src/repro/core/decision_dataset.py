@@ -1,0 +1,180 @@
+"""Decision-dataset generation by Monte-Carlo distillation (Section 3.2.1).
+
+A decision dataset ``Pi = {(s, d, a*)}`` pairs policy inputs with the
+*deterministic* optimal action distilled from the stochastic optimiser: for
+every input the random-shooting optimiser is run several times (the Monte-Carlo
+method of the paper) and the most frequent best first action ``a*`` is kept.
+
+Inputs are drawn from the noise-augmented historical distribution
+(:class:`repro.core.sampling.AugmentedHistoricalSampler`), which is the paper's
+importance-sampling answer to the dimensionality of the input space.  Since the
+sampled inputs are not tied to a specific timestamp, the optimiser plans under
+a persistence forecast (the sampled disturbance held constant over the planning
+horizon) — the same simplification BMS-data-driven extraction has to make.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.sampling import AugmentedHistoricalSampler
+from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
+
+#: Index of the occupant-count feature inside the policy-input vector.
+_OCCUPANT_COUNT_FEATURE = 5
+
+
+@dataclass
+class DecisionDataset:
+    """The decision dataset Pi: policy inputs and distilled action labels."""
+
+    inputs: np.ndarray
+    action_labels: np.ndarray
+    action_pairs: List[Tuple[int, int]]
+    generation_seconds_per_entry: float = 0.0
+    monte_carlo_runs: int = 1
+
+    def __post_init__(self) -> None:
+        self.inputs = np.atleast_2d(np.asarray(self.inputs, dtype=float))
+        self.action_labels = np.asarray(self.action_labels, dtype=int)
+        if len(self.inputs) != len(self.action_labels):
+            raise ValueError("inputs and action_labels must have the same length")
+        if len(self.action_pairs) == 0:
+            raise ValueError("action_pairs must not be empty")
+        if len(self.action_labels) and (
+            self.action_labels.min() < 0 or self.action_labels.max() >= len(self.action_pairs)
+        ):
+            raise ValueError("action labels must index into action_pairs")
+
+    def __len__(self) -> int:
+        return len(self.action_labels)
+
+    @property
+    def input_dim(self) -> int:
+        return self.inputs.shape[1] if len(self.inputs) else 0
+
+    def setpoints(self) -> np.ndarray:
+        """The (heating, cooling) pairs corresponding to each label, shape (n, 2)."""
+        pairs = np.asarray(self.action_pairs, dtype=int)
+        return pairs[self.action_labels]
+
+    def subset(self, count: int, seed: RNGLike = None) -> "DecisionDataset":
+        """A uniformly subsampled dataset of at most ``count`` entries.
+
+        Used by the data-efficiency experiment (Fig. 6/7), which sweeps the
+        number of decision data points used to fit the tree.
+        """
+        if count >= len(self):
+            return DecisionDataset(
+                self.inputs.copy(),
+                self.action_labels.copy(),
+                list(self.action_pairs),
+                self.generation_seconds_per_entry,
+                self.monte_carlo_runs,
+            )
+        rng = ensure_rng(seed)
+        idx = np.sort(rng.choice(len(self), size=count, replace=False))
+        return DecisionDataset(
+            self.inputs[idx],
+            self.action_labels[idx],
+            list(self.action_pairs),
+            self.generation_seconds_per_entry,
+            self.monte_carlo_runs,
+        )
+
+    def merge(self, other: "DecisionDataset") -> "DecisionDataset":
+        """Concatenate two decision datasets sharing the same action table."""
+        if self.action_pairs != other.action_pairs:
+            raise ValueError("Cannot merge decision datasets with different action tables")
+        return DecisionDataset(
+            np.vstack([self.inputs, other.inputs]),
+            np.concatenate([self.action_labels, other.action_labels]),
+            list(self.action_pairs),
+            max(self.generation_seconds_per_entry, other.generation_seconds_per_entry),
+            max(self.monte_carlo_runs, other.monte_carlo_runs),
+        )
+
+    def label_distribution(self) -> Counter:
+        """How often each action label occurs (diagnostics)."""
+        return Counter(self.action_labels.tolist())
+
+
+class DecisionDatasetGenerator:
+    """Distils the stochastic optimiser into deterministic decisions."""
+
+    def __init__(
+        self,
+        optimizer,
+        sampler: AugmentedHistoricalSampler,
+        action_pairs: Sequence[Tuple[int, int]],
+        monte_carlo_runs: int = 5,
+        planning_horizon: int = 20,
+        occupancy_threshold: float = 0.5,
+    ):
+        if monte_carlo_runs <= 0:
+            raise ValueError("monte_carlo_runs must be positive")
+        if planning_horizon <= 0:
+            raise ValueError("planning_horizon must be positive")
+        self.optimizer = optimizer
+        self.sampler = sampler
+        self.action_pairs = [tuple(int(v) for v in pair) for pair in action_pairs]
+        self.monte_carlo_runs = monte_carlo_runs
+        self.planning_horizon = planning_horizon
+        self.occupancy_threshold = occupancy_threshold
+
+    # ------------------------------------------------------------------ single
+    def distill_decision(self, policy_input: np.ndarray, rng: RNGLike = None) -> int:
+        """The most frequent best action over repeated optimiser runs for one input."""
+        policy_input = np.asarray(policy_input, dtype=float).ravel()
+        state = float(policy_input[0])
+        disturbance = policy_input[1:]
+        occupied = bool(disturbance[_OCCUPANT_COUNT_FEATURE - 1] > self.occupancy_threshold)
+        forecast = np.repeat(disturbance.reshape(1, -1), self.planning_horizon, axis=0)
+        occupied_forecast = [occupied] * self.planning_horizon
+
+        run_rngs = spawn_rngs(ensure_rng(rng), self.monte_carlo_runs)
+        votes = Counter()
+        for run_rng in run_rngs:
+            result = self.optimizer.plan(state, forecast, occupied_forecast, rng=run_rng)
+            votes[int(result.best_action_index)] += 1
+        # Deterministic tie-break: highest vote count, then smallest action index.
+        return sorted(votes.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
+
+    # ------------------------------------------------------------------- batch
+    def generate(
+        self,
+        num_entries: int,
+        seed: RNGLike = None,
+        inputs: Optional[np.ndarray] = None,
+    ) -> DecisionDataset:
+        """Generate a decision dataset of ``num_entries`` distilled decisions.
+
+        ``inputs`` can be supplied directly (e.g. a grid for ablations); by
+        default they are drawn from the augmented historical distribution.
+        """
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        rng = ensure_rng(seed)
+        if inputs is None:
+            inputs = self.sampler.sample(num_entries, rng)
+        else:
+            inputs = np.atleast_2d(np.asarray(inputs, dtype=float))[:num_entries]
+
+        labels = np.empty(len(inputs), dtype=int)
+        start = time.perf_counter()
+        for i, row in enumerate(inputs):
+            labels[i] = self.distill_decision(row, rng=rng)
+        elapsed = time.perf_counter() - start
+
+        return DecisionDataset(
+            inputs=inputs,
+            action_labels=labels,
+            action_pairs=self.action_pairs,
+            generation_seconds_per_entry=elapsed / max(len(inputs), 1),
+            monte_carlo_runs=self.monte_carlo_runs,
+        )

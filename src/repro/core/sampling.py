@@ -1,0 +1,171 @@
+"""Importance sampling conditioned on historical data (Section 3.2.1, Eq. 5).
+
+Exhaustively sampling the optimal action over the whole policy-input space is
+intractable (the paper estimates ~444 hours for a sparse 20-bin grid).  The key
+observation — each city's weather induces its own input distribution, so
+frequent scenarios matter far more than rare ones — leads to this sampler: draw
+a historical input, add element-wise Gaussian noise whose standard deviation is
+``noise_level`` times the per-feature standard deviation of the historical
+data::
+
+    d_p(x) = X + N(0, noise_level * std(X))          (Eq. 5)
+
+The noise level trades off generalisation (entropy of the augmented
+distribution) against fidelity to the local climate (Jensen-Shannon distance to
+the original distribution); :func:`noise_level_study` reproduces the Fig. 3
+experiment that picks the level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.distributions import dataset_entropy, dataset_jsd
+from repro.env.dataset import TransitionDataset
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+class AugmentedHistoricalSampler:
+    """Samples policy inputs from the noise-augmented historical distribution."""
+
+    def __init__(
+        self,
+        historical_inputs: np.ndarray,
+        noise_level: float = 0.01,
+        clip_low: Optional[Sequence[float]] = None,
+        clip_high: Optional[Sequence[float]] = None,
+    ):
+        data = np.atleast_2d(np.asarray(historical_inputs, dtype=float))
+        if len(data) == 0:
+            raise ValueError("historical_inputs must contain at least one sample")
+        if noise_level < 0:
+            raise ValueError("noise_level must be non-negative")
+        self.data = data
+        self.noise_level = float(noise_level)
+        self.feature_std = data.std(axis=0)
+        self.clip_low = None if clip_low is None else np.asarray(clip_low, dtype=float)
+        self.clip_high = None if clip_high is None else np.asarray(clip_high, dtype=float)
+        for name, clip in (("clip_low", self.clip_low), ("clip_high", self.clip_high)):
+            if clip is not None and clip.shape != (data.shape[1],):
+                raise ValueError(f"{name} must have one entry per feature")
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: TransitionDataset,
+        noise_level: float = 0.01,
+        clip_low: Optional[Sequence[float]] = None,
+        clip_high: Optional[Sequence[float]] = None,
+    ) -> "AugmentedHistoricalSampler":
+        """Build the sampler from the (s, d) rows of a historical transition dataset."""
+        return cls(
+            dataset.policy_inputs(),
+            noise_level=noise_level,
+            clip_low=clip_low,
+            clip_high=clip_high,
+        )
+
+    @property
+    def num_historical(self) -> int:
+        return len(self.data)
+
+    @property
+    def dim(self) -> int:
+        return self.data.shape[1]
+
+    def sample(self, count: int, rng: RNGLike = None) -> np.ndarray:
+        """Draw ``count`` augmented samples (Eq. 5)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        generator = ensure_rng(rng)
+        rows = generator.integers(0, len(self.data), size=count)
+        samples = self.data[rows].copy()
+        if self.noise_level > 0:
+            noise = generator.normal(
+                0.0, 1.0, size=samples.shape
+            ) * (self.noise_level * self.feature_std)
+            samples = samples + noise
+        if self.clip_low is not None:
+            samples = np.maximum(samples, self.clip_low)
+        if self.clip_high is not None:
+            samples = np.minimum(samples, self.clip_high)
+        return samples
+
+    def sample_one(self, rng: RNGLike = None) -> np.ndarray:
+        """Draw a single augmented sample."""
+        return self.sample(1, rng)[0]
+
+
+@dataclass
+class NoiseLevelStudy:
+    """Result of the Fig. 3 noise-level study."""
+
+    noise_levels: List[float]
+    jsd_to_original: List[float]
+    entropy_augmented: List[float]
+    jsd_to_similar_city: float
+    entropy_original: float
+    entropy_similar_city: float
+    recommended_range: tuple = field(default=(0.01, 0.09))
+
+    def recommended_noise_levels(self) -> List[float]:
+        """Noise levels whose JSD stays below the similar-city JSD.
+
+        The paper's selection rule: the augmented distribution must remain
+        closer to the original city than a *different* (climate-similar) city
+        is, while gaining as much entropy as possible.
+        """
+        return [
+            level
+            for level, jsd in zip(self.noise_levels, self.jsd_to_original)
+            if jsd < self.jsd_to_similar_city
+        ]
+
+    def rows(self) -> List[List[float]]:
+        """Table rows: noise level, JSD to original, entropy."""
+        return [
+            [level, jsd, entropy]
+            for level, jsd, entropy in zip(
+                self.noise_levels, self.jsd_to_original, self.entropy_augmented
+            )
+        ]
+
+
+def noise_level_study(
+    original_inputs: np.ndarray,
+    similar_city_inputs: np.ndarray,
+    noise_levels: Sequence[float] = (0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+    samples_per_level: int = 2000,
+    bins: int = 12,
+    seed: RNGLike = None,
+) -> NoiseLevelStudy:
+    """Reproduce the paper's preliminary noise-level experiment (Fig. 3).
+
+    For every noise level, augment the original city's historical inputs and
+    measure (i) the Jensen-Shannon distance to the original distribution and
+    (ii) the information entropy of the augmented distribution, comparing both
+    against the corresponding values for a climate-similar city.
+    """
+    rng = ensure_rng(seed)
+    original_inputs = np.atleast_2d(np.asarray(original_inputs, dtype=float))
+    similar_city_inputs = np.atleast_2d(np.asarray(similar_city_inputs, dtype=float))
+
+    jsd_values: List[float] = []
+    entropy_values: List[float] = []
+    for level in noise_levels:
+        sampler = AugmentedHistoricalSampler(original_inputs, noise_level=float(level))
+        augmented = sampler.sample(samples_per_level, rng)
+        jsd_values.append(dataset_jsd(original_inputs, augmented, bins=bins))
+        entropy_values.append(dataset_entropy(augmented, bins=bins))
+
+    return NoiseLevelStudy(
+        noise_levels=[float(l) for l in noise_levels],
+        jsd_to_original=jsd_values,
+        entropy_augmented=entropy_values,
+        jsd_to_similar_city=dataset_jsd(original_inputs, similar_city_inputs, bins=bins),
+        entropy_original=dataset_entropy(original_inputs, bins=bins),
+        entropy_similar_city=dataset_entropy(similar_city_inputs, bins=bins),
+    )

@@ -1,0 +1,158 @@
+"""The deployable decision-tree policy (Section 3.2.2).
+
+A :class:`TreePolicy` wraps a fitted CART classifier whose classes are discrete
+action indices over the (heating, cooling) setpoint pairs.  The policy input is
+the concatenated ``(s, d)`` vector in the Table-1 order; every decision node
+compares one physical quantity against a threshold, so the policy is directly
+readable by building engineers (``tree_policy.describe()`` prints it).
+
+The policy object also exposes the structural information the verifier needs:
+leaf enumeration, decision paths and per-leaf input boxes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtree.cart import DecisionTreeClassifier
+from repro.dtree.export import tree_from_dict, tree_to_dict, tree_to_text
+from repro.dtree.node import TreeNode
+from repro.dtree.paths import LeafRegion, enumerate_leaf_regions
+from repro.env.hvac_env import OBSERVATION_NAMES
+
+#: Feature names of the policy-input vector (s followed by the disturbances).
+POLICY_FEATURE_NAMES: Tuple[str, ...] = OBSERVATION_NAMES
+
+#: Index of the controlled-zone temperature in the policy-input vector.
+ZONE_TEMPERATURE_FEATURE = 0
+
+
+class TreePolicy:
+    """A decision-tree HVAC policy mapping (s, d) to a setpoint pair."""
+
+    def __init__(
+        self,
+        tree: DecisionTreeClassifier,
+        action_pairs: Sequence[Tuple[int, int]],
+        feature_names: Optional[Sequence[str]] = None,
+        city: Optional[str] = None,
+    ):
+        if tree.root is None:
+            raise ValueError("TreePolicy requires a fitted decision tree")
+        self.tree = tree
+        self.action_pairs = [tuple(int(v) for v in pair) for pair in action_pairs]
+        if not self.action_pairs:
+            raise ValueError("action_pairs must not be empty")
+        self.feature_names = list(feature_names) if feature_names else list(POLICY_FEATURE_NAMES)
+        if tree.n_features is not None and len(self.feature_names) != tree.n_features:
+            raise ValueError(
+                f"feature_names has {len(self.feature_names)} entries but the tree "
+                f"expects {tree.n_features} features"
+            )
+        self.city = city
+
+    # --------------------------------------------------------------- decisions
+    def predict_action_index(self, policy_input: np.ndarray) -> int:
+        """The discrete action index selected for a policy input."""
+        label = self.tree.predict_one(np.asarray(policy_input, dtype=float))
+        return int(label)
+
+    def setpoints_for(self, policy_input: np.ndarray) -> Tuple[int, int]:
+        """The (heating, cooling) setpoints selected for a policy input."""
+        index = self.predict_action_index(policy_input)
+        return self.decode_action(index)
+
+    def decode_action(self, action_index: int) -> Tuple[int, int]:
+        """Map an action label to its setpoint pair."""
+        if not (0 <= int(action_index) < len(self.action_pairs)):
+            raise IndexError(
+                f"Action index {action_index} outside the policy's action table "
+                f"(size {len(self.action_pairs)})"
+            )
+        return self.action_pairs[int(action_index)]
+
+    def encode_action(self, heating: int, cooling: int) -> int:
+        """Map a setpoint pair to its action label (nearest valid pair)."""
+        target = (int(round(heating)), int(round(cooling)))
+        if target in self.action_pairs:
+            return self.action_pairs.index(target)
+        distances = [abs(p[0] - target[0]) + abs(p[1] - target[1]) for p in self.action_pairs]
+        return int(np.argmin(distances))
+
+    def __call__(self, policy_input: np.ndarray) -> Tuple[int, int]:
+        return self.setpoints_for(policy_input)
+
+    # ------------------------------------------------------------- structure
+    @property
+    def input_dim(self) -> int:
+        return len(self.feature_names)
+
+    @property
+    def node_count(self) -> int:
+        return self.tree.node_count
+
+    @property
+    def leaf_count(self) -> int:
+        return self.tree.leaf_count
+
+    @property
+    def depth(self) -> int:
+        return self.tree.depth
+
+    @property
+    def corrected_leaf_count(self) -> int:
+        return sum(1 for leaf in self.tree.leaves() if leaf.corrected)
+
+    def leaves(self) -> List[TreeNode]:
+        return self.tree.leaves()
+
+    def leaf_regions(self) -> List[LeafRegion]:
+        """Every leaf with its decision path and input box (used by Algorithm 1)."""
+        return enumerate_leaf_regions(self.tree.root, self.input_dim)
+
+    def leaf_setpoints(self, leaf: TreeNode) -> Tuple[int, int]:
+        """The setpoint pair a leaf returns."""
+        return self.decode_action(int(leaf.prediction))
+
+    def set_leaf_action(self, leaf: TreeNode, heating: int, cooling: int) -> None:
+        """Edit a leaf's decision in place (used by the verification correction)."""
+        leaf.prediction = self.encode_action(heating, cooling)
+        leaf.corrected = True
+
+    # ------------------------------------------------------------ description
+    def describe(self, max_depth: Optional[int] = None) -> str:
+        """Human-readable IF/ELSE rendering of the policy."""
+
+        def _format(label) -> str:
+            heating, cooling = self.decode_action(int(label))
+            return f"setpoints(heating={heating}, cooling={cooling})"
+
+        return tree_to_text(
+            self.tree,
+            feature_names=self.feature_names,
+            value_formatter=_format,
+            max_depth=max_depth,
+        )
+
+    # ---------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict:
+        return {
+            "city": self.city,
+            "feature_names": self.feature_names,
+            "action_pairs": [list(pair) for pair in self.action_pairs],
+            "tree": tree_to_dict(self.tree),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TreePolicy":
+        tree = tree_from_dict(data["tree"])
+        if not isinstance(tree, DecisionTreeClassifier):
+            raise ValueError("TreePolicy requires a classification tree")
+        return cls(
+            tree=tree,
+            action_pairs=[tuple(pair) for pair in data["action_pairs"]],
+            feature_names=data.get("feature_names"),
+            city=data.get("city"),
+        )

@@ -1,0 +1,34 @@
+"""From-scratch CART decision trees (scikit-learn substitute).
+
+The paper fits a classification decision tree (CART, unbounded depth, default
+split threshold) that maps the concatenated ``(s, d)`` input vector to a
+setpoint decision.  Beyond ``fit``/``predict``, the verification algorithm
+(Algorithm 1 of the paper) needs to enumerate every leaf, recover the unique
+root-to-leaf decision path and intersect the axis-aligned "boxes" implied by
+the comparisons along that path; :mod:`repro.dtree.paths` provides exactly
+that, and :mod:`repro.dtree.export` renders trees as human-readable rules.
+"""
+
+from repro.dtree.node import TreeNode
+from repro.dtree.splitter import SplitCandidate, best_split, gini_impurity, entropy_impurity, mse_impurity
+from repro.dtree.cart import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.dtree.paths import Box, LeafRegion, enumerate_leaf_regions, path_to_leaf
+from repro.dtree.export import tree_to_text, tree_to_dict, tree_from_dict
+
+__all__ = [
+    "TreeNode",
+    "SplitCandidate",
+    "best_split",
+    "gini_impurity",
+    "entropy_impurity",
+    "mse_impurity",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "Box",
+    "LeafRegion",
+    "enumerate_leaf_regions",
+    "path_to_leaf",
+    "tree_to_text",
+    "tree_to_dict",
+    "tree_from_dict",
+]

@@ -1,0 +1,242 @@
+"""CART decision-tree learners (classification and regression).
+
+The classifier is the policy representation of the paper: it is grown with the
+Gini criterion, unbounded depth by default, and the standard CART stopping
+rules (pure node, too few samples, no impurity-decreasing split).  Determinism
+matters — refitting on the same decision dataset must yield the same tree — so
+ties are broken by feature order and the split search is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dtree.node import TreeNode
+from repro.dtree.splitter import best_split, entropy_impurity, gini_impurity, mse_impurity
+
+
+class _BaseDecisionTree:
+    """Shared fit/predict machinery of the classification and regression trees."""
+
+    def __init__(
+        self,
+        criterion: str,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        feature_names: Optional[Sequence[str]] = None,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be at least 1 when given")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.feature_names = list(feature_names) if feature_names is not None else None
+        self.root: Optional[TreeNode] = None
+        self.n_features: Optional[int] = None
+        self._next_node_id = 0
+
+    # --------------------------------------------------------------- plumbing
+    def _impurity(self, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _leaf_prediction(self, targets: np.ndarray) -> Any:
+        raise NotImplementedError
+
+    def _leaf_counts(self, targets: np.ndarray) -> dict:
+        return {}
+
+    def _new_node_id(self) -> int:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        return node_id
+
+    # -------------------------------------------------------------------- fit
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "_BaseDecisionTree":
+        """Grow the tree on a feature matrix and a target vector."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if len(features) != len(targets):
+            raise ValueError("features and targets must have the same number of rows")
+        if len(features) == 0:
+            raise ValueError("Cannot fit a tree on an empty dataset")
+        self.n_features = features.shape[1]
+        if self.feature_names is not None and len(self.feature_names) != self.n_features:
+            raise ValueError("feature_names length must match the number of features")
+        self._next_node_id = 0
+        self.root = self._grow(features, targets, depth=0)
+        self.root.validate()
+        return self
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> TreeNode:
+        node = TreeNode(
+            node_id=self._new_node_id(),
+            num_samples=len(targets),
+            impurity=self._impurity(targets),
+            depth=depth,
+            prediction=self._leaf_prediction(targets),
+            class_counts=self._leaf_counts(targets),
+        )
+        stop = (
+            len(targets) < self.min_samples_split
+            or node.impurity <= 1e-12
+            or (self.max_depth is not None and depth >= self.max_depth)
+        )
+        if stop:
+            return node
+        split = best_split(
+            features,
+            targets,
+            criterion=self.criterion,
+            min_samples_leaf=self.min_samples_leaf,
+        )
+        if split is None or split.impurity_decrease < self.min_impurity_decrease:
+            return node
+        mask = features[:, split.feature_index] <= split.threshold
+        node.feature_index = split.feature_index
+        node.threshold = split.threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        # Internal nodes keep their majority prediction for diagnostics, but
+        # prediction always happens at leaves.
+        return node
+
+    # ---------------------------------------------------------------- predict
+    def _check_fitted(self) -> None:
+        if self.root is None:
+            raise RuntimeError("This tree has not been fitted yet")
+
+    def predict_one(self, x: np.ndarray) -> Any:
+        """Predict for a single input vector."""
+        self._check_fitted()
+        x = np.asarray(x, dtype=float).ravel()
+        if len(x) != self.n_features:
+            raise ValueError(f"Expected {self.n_features} features, got {len(x)}")
+        return self.root.find_leaf(x).prediction
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict for a batch of input vectors."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return np.array([self.predict_one(row) for row in features])
+
+    def decision_leaf(self, x: np.ndarray) -> TreeNode:
+        """Return the leaf node an input is routed to (for decision queries)."""
+        self._check_fitted()
+        return self.root.find_leaf(np.asarray(x, dtype=float).ravel())
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def node_count(self) -> int:
+        self._check_fitted()
+        return self.root.count_nodes()
+
+    @property
+    def leaf_count(self) -> int:
+        self._check_fitted()
+        return self.root.count_leaves()
+
+    @property
+    def depth(self) -> int:
+        self._check_fitted()
+        return self.root.max_depth()
+
+    def leaves(self) -> List[TreeNode]:
+        self._check_fitted()
+        return list(self.root.iter_leaves())
+
+
+class DecisionTreeClassifier(_BaseDecisionTree):
+    """CART classification tree (Gini by default), the paper's policy class."""
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        feature_names: Optional[Sequence[str]] = None,
+    ):
+        if criterion not in ("gini", "entropy"):
+            raise ValueError("Classification criterion must be 'gini' or 'entropy'")
+        super().__init__(
+            criterion=criterion,
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            min_impurity_decrease=min_impurity_decrease,
+            feature_names=feature_names,
+        )
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeClassifier":
+        targets = np.asarray(targets)
+        self.classes_ = np.unique(targets)
+        super().fit(features, targets)
+        return self
+
+    def _impurity(self, targets: np.ndarray) -> float:
+        return gini_impurity(targets) if self.criterion == "gini" else entropy_impurity(targets)
+
+    def _leaf_prediction(self, targets: np.ndarray) -> Any:
+        counts = Counter(targets.tolist())
+        # Deterministic tie-break: highest count, then smallest label.
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
+
+    def _leaf_counts(self, targets: np.ndarray) -> dict:
+        return dict(Counter(targets.tolist()))
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Classification accuracy."""
+        predictions = self.predict(features)
+        targets = np.asarray(targets)
+        return float(np.mean(predictions == targets))
+
+
+class DecisionTreeRegressor(_BaseDecisionTree):
+    """CART regression tree (variance reduction), used for ablations."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        feature_names: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(
+            criterion="mse",
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            min_impurity_decrease=min_impurity_decrease,
+            feature_names=feature_names,
+        )
+
+    def _impurity(self, targets: np.ndarray) -> float:
+        return mse_impurity(targets.astype(float))
+
+    def _leaf_prediction(self, targets: np.ndarray) -> float:
+        return float(np.mean(targets.astype(float)))
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Coefficient of determination (R^2)."""
+        targets = np.asarray(targets, dtype=float)
+        predictions = self.predict(features).astype(float)
+        ss_res = float(np.sum((targets - predictions) ** 2))
+        ss_tot = float(np.sum((targets - targets.mean()) ** 2))
+        if ss_tot == 0:
+            return 1.0 if ss_res == 0 else 0.0
+        return 1.0 - ss_res / ss_tot

@@ -1,0 +1,124 @@
+"""Human-readable and JSON export of decision trees.
+
+Interpretability is one of the paper's headline properties: a facilities
+manager should be able to read the policy.  ``tree_to_text`` renders the tree
+as nested IF/ELSE rules with physical feature names; ``tree_to_dict`` /
+``tree_from_dict`` round-trip trees through plain dictionaries for JSON
+persistence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.dtree.cart import DecisionTreeClassifier, DecisionTreeRegressor, _BaseDecisionTree
+from repro.dtree.node import TreeNode
+
+
+def tree_to_text(
+    tree: _BaseDecisionTree,
+    feature_names: Optional[Sequence[str]] = None,
+    value_formatter=None,
+    max_depth: Optional[int] = None,
+) -> str:
+    """Render a fitted tree as indented IF/ELSE rules."""
+    if tree.root is None:
+        raise RuntimeError("Cannot export an unfitted tree")
+    names = feature_names or tree.feature_names
+    formatter = value_formatter or (lambda v: repr(v))
+    lines = []
+
+    def _feature_name(index: int) -> str:
+        if names is not None and index < len(names):
+            return names[index]
+        return f"x[{index}]"
+
+    def _walk(node: TreeNode, indent: int) -> None:
+        prefix = "  " * indent
+        if node.is_leaf or (max_depth is not None and node.depth >= max_depth):
+            marker = " [corrected]" if node.corrected else ""
+            lines.append(f"{prefix}return {formatter(node.prediction)}{marker}")
+            return
+        lines.append(f"{prefix}if {_feature_name(node.feature_index)} <= {node.threshold:.3f}:")
+        _walk(node.left, indent + 1)
+        lines.append(f"{prefix}else:")
+        _walk(node.right, indent + 1)
+
+    _walk(tree.root, 0)
+    return "\n".join(lines)
+
+
+def _node_to_dict(node: TreeNode) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "node_id": node.node_id,
+        "num_samples": node.num_samples,
+        "impurity": node.impurity,
+        "depth": node.depth,
+        "corrected": node.corrected,
+    }
+    if node.is_leaf:
+        data["kind"] = "leaf"
+        data["prediction"] = node.prediction
+        data["class_counts"] = {str(k): int(v) for k, v in node.class_counts.items()}
+    else:
+        data["kind"] = "decision"
+        data["feature_index"] = node.feature_index
+        data["threshold"] = node.threshold
+        data["prediction"] = node.prediction
+        data["left"] = _node_to_dict(node.left)
+        data["right"] = _node_to_dict(node.right)
+    return data
+
+
+def _node_from_dict(data: Dict[str, Any]) -> TreeNode:
+    node = TreeNode(
+        node_id=int(data["node_id"]),
+        num_samples=int(data.get("num_samples", 0)),
+        impurity=float(data.get("impurity", 0.0)),
+        depth=int(data.get("depth", 0)),
+        prediction=data.get("prediction"),
+    )
+    node.corrected = bool(data.get("corrected", False))
+    if data["kind"] == "decision":
+        node.feature_index = int(data["feature_index"])
+        node.threshold = float(data["threshold"])
+        node.left = _node_from_dict(data["left"])
+        node.right = _node_from_dict(data["right"])
+    else:
+        node.class_counts = {k: int(v) for k, v in data.get("class_counts", {}).items()}
+    return node
+
+
+def tree_to_dict(tree: _BaseDecisionTree) -> Dict[str, Any]:
+    """Serialise a fitted tree to a JSON-friendly dictionary."""
+    if tree.root is None:
+        raise RuntimeError("Cannot export an unfitted tree")
+    return {
+        "tree_type": type(tree).__name__,
+        "criterion": tree.criterion,
+        "max_depth": tree.max_depth,
+        "min_samples_split": tree.min_samples_split,
+        "min_samples_leaf": tree.min_samples_leaf,
+        "n_features": tree.n_features,
+        "feature_names": tree.feature_names,
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(data: Dict[str, Any]) -> _BaseDecisionTree:
+    """Rebuild a tree previously serialised with :func:`tree_to_dict`."""
+    tree_type = data.get("tree_type", "DecisionTreeClassifier")
+    common = dict(
+        max_depth=data.get("max_depth"),
+        min_samples_split=int(data.get("min_samples_split", 2)),
+        min_samples_leaf=int(data.get("min_samples_leaf", 1)),
+        feature_names=data.get("feature_names"),
+    )
+    if tree_type == "DecisionTreeRegressor":
+        tree: _BaseDecisionTree = DecisionTreeRegressor(**common)
+    else:
+        tree = DecisionTreeClassifier(criterion=data.get("criterion", "gini"), **common)
+    tree.n_features = data.get("n_features")
+    tree.root = _node_from_dict(data["root"])
+    tree.root.validate()
+    return tree

@@ -1,0 +1,128 @@
+"""Decision-tree node structure.
+
+A tree is a binary directed acyclic graph of :class:`TreeNode` objects.  A
+decision (internal) node holds a feature index and threshold and routes inputs
+with ``x[feature] <= threshold`` to the left child, others to the right child.
+A leaf node holds a prediction (a class label for classification trees, a float
+for regression trees).  Leaf predictions are mutable on purpose: the paper's
+formal verification *corrects* failing leaves by editing their setpoint in
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+
+class TreeNode:
+    """A node of a binary decision tree."""
+
+    __slots__ = (
+        "node_id",
+        "feature_index",
+        "threshold",
+        "left",
+        "right",
+        "prediction",
+        "class_counts",
+        "num_samples",
+        "impurity",
+        "depth",
+        "corrected",
+    )
+
+    def __init__(
+        self,
+        node_id: int = 0,
+        feature_index: Optional[int] = None,
+        threshold: Optional[float] = None,
+        left: Optional["TreeNode"] = None,
+        right: Optional["TreeNode"] = None,
+        prediction: Any = None,
+        class_counts: Optional[Dict[Any, int]] = None,
+        num_samples: int = 0,
+        impurity: float = 0.0,
+        depth: int = 0,
+    ):
+        self.node_id = node_id
+        self.feature_index = feature_index
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.prediction = prediction
+        self.class_counts = class_counts or {}
+        self.num_samples = num_samples
+        self.impurity = impurity
+        self.depth = depth
+        #: Set to True when the verifier edits this leaf's prediction.
+        self.corrected = False
+
+    # ------------------------------------------------------------------ kinds
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def validate(self) -> None:
+        """Check structural invariants of the subtree rooted at this node."""
+        if self.is_leaf:
+            if self.prediction is None:
+                raise ValueError(f"Leaf node {self.node_id} has no prediction")
+            return
+        if self.left is None or self.right is None:
+            raise ValueError(f"Decision node {self.node_id} must have two children")
+        if self.feature_index is None or self.threshold is None:
+            raise ValueError(f"Decision node {self.node_id} must have a feature and threshold")
+        self.left.validate()
+        self.right.validate()
+
+    # -------------------------------------------------------------- traversal
+    def route(self, x: np.ndarray) -> "TreeNode":
+        """Return the child an input vector is routed to (decision nodes only)."""
+        if self.is_leaf:
+            raise RuntimeError("Cannot route from a leaf node")
+        return self.left if x[self.feature_index] <= self.threshold else self.right
+
+    def find_leaf(self, x: np.ndarray) -> "TreeNode":
+        """Follow the decision path for ``x`` down to a leaf."""
+        node = self
+        while not node.is_leaf:
+            node = node.route(np.asarray(x))
+        return node
+
+    def iter_nodes(self) -> Iterator["TreeNode"]:
+        """Iterate over all nodes in the subtree (pre-order)."""
+        stack: List[TreeNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+
+    def iter_leaves(self) -> Iterator["TreeNode"]:
+        """Iterate over all leaf nodes in the subtree."""
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                yield node
+
+    # ------------------------------------------------------------------ stats
+    def count_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def count_leaves(self) -> int:
+        return sum(1 for _ in self.iter_leaves())
+
+    def max_depth(self) -> int:
+        if self.is_leaf:
+            return self.depth
+        return max(self.left.max_depth(), self.right.max_depth())
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"TreeNode(leaf id={self.node_id}, prediction={self.prediction!r})"
+        return (
+            f"TreeNode(id={self.node_id}, feature={self.feature_index}, "
+            f"threshold={self.threshold:.4g})"
+        )

@@ -1,0 +1,167 @@
+"""Decision-path and input-box extraction.
+
+Algorithm 1 of the paper relies on the fact that every leaf of the decision
+tree handles a unique axis-aligned box of the input space: the intersection of
+all the half-spaces implied by the comparisons along the unique root-to-leaf
+path.  This module computes those boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtree.node import TreeNode
+
+
+@dataclass
+class Box:
+    """An axis-aligned box ``{x : lower <= x <= upper}`` over the input space.
+
+    Open dimensions use ``-inf``/``+inf``.  The left branch of a decision node
+    (``x[f] <= t``) tightens the upper bound; the right branch (``x[f] > t``)
+    tightens the lower bound.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.lower = np.asarray(self.lower, dtype=float)
+        self.upper = np.asarray(self.upper, dtype=float)
+        if self.lower.shape != self.upper.shape:
+            raise ValueError("lower and upper must have the same shape")
+
+    @staticmethod
+    def unbounded(dim: int) -> "Box":
+        """The full input space R^dim."""
+        return Box(np.full(dim, -np.inf), np.full(dim, np.inf))
+
+    @property
+    def dim(self) -> int:
+        return int(self.lower.size)
+
+    def copy(self) -> "Box":
+        return Box(self.lower.copy(), self.upper.copy())
+
+    def is_empty(self) -> bool:
+        """Whether the box contains no points (some lower bound exceeds its upper)."""
+        return bool(np.any(self.lower > self.upper))
+
+    def contains(self, x: Sequence[float]) -> bool:
+        x = np.asarray(x, dtype=float)
+        return bool(np.all(x >= self.lower - 1e-12) and np.all(x <= self.upper + 1e-12))
+
+    def intersect_upper(self, feature: int, threshold: float) -> "Box":
+        """Intersect with the half-space ``x[feature] <= threshold``."""
+        out = self.copy()
+        out.upper[feature] = min(out.upper[feature], threshold)
+        return out
+
+    def intersect_lower(self, feature: int, threshold: float) -> "Box":
+        """Intersect with the half-space ``x[feature] > threshold``."""
+        out = self.copy()
+        out.lower[feature] = max(out.lower[feature], threshold)
+        return out
+
+    def interval(self, feature: int) -> Tuple[float, float]:
+        """The (lower, upper) interval of one input dimension."""
+        return float(self.lower[feature]), float(self.upper[feature])
+
+    def intersects_interval(self, feature: int, low: float, high: float) -> bool:
+        """Whether the box overlaps ``{x : low <= x[feature] <= high}``."""
+        box_low, box_high = self.interval(feature)
+        return box_low <= high and low <= box_high
+
+    def subset_of_interval(self, feature: int, low: float, high: float) -> bool:
+        """Whether the box projection on ``feature`` is entirely inside [low, high]."""
+        box_low, box_high = self.interval(feature)
+        return box_low >= low and box_high <= high
+
+
+@dataclass
+class PathStep:
+    """One decision along a root-to-leaf path."""
+
+    node: TreeNode
+    went_left: bool
+
+    @property
+    def feature_index(self) -> int:
+        return int(self.node.feature_index)
+
+    @property
+    def threshold(self) -> float:
+        return float(self.node.threshold)
+
+    def describe(self, feature_names: Optional[Sequence[str]] = None) -> str:
+        name = (
+            feature_names[self.feature_index]
+            if feature_names is not None
+            else f"x[{self.feature_index}]"
+        )
+        op = "<=" if self.went_left else ">"
+        return f"{name} {op} {self.threshold:.3f}"
+
+
+@dataclass
+class LeafRegion:
+    """A leaf node together with its decision path and input box."""
+
+    leaf: TreeNode
+    path: List[PathStep] = field(default_factory=list)
+    box: Box = None
+
+    @property
+    def prediction(self):
+        return self.leaf.prediction
+
+    def describe(self, feature_names: Optional[Sequence[str]] = None) -> str:
+        conditions = " AND ".join(step.describe(feature_names) for step in self.path) or "TRUE"
+        return f"IF {conditions} THEN {self.prediction!r}"
+
+
+def path_to_leaf(root: TreeNode, leaf: TreeNode) -> List[PathStep]:
+    """The unique path of decisions from ``root`` to ``leaf``.
+
+    Raises ``ValueError`` if ``leaf`` is not in the subtree of ``root``.
+    """
+
+    def _search(node: TreeNode, steps: List[PathStep]) -> Optional[List[PathStep]]:
+        if node is leaf:
+            return steps
+        if node.is_leaf:
+            return None
+        found = _search(node.left, steps + [PathStep(node, went_left=True)])
+        if found is not None:
+            return found
+        return _search(node.right, steps + [PathStep(node, went_left=False)])
+
+    result = _search(root, [])
+    if result is None:
+        raise ValueError(f"Leaf {leaf.node_id} is not reachable from node {root.node_id}")
+    return result
+
+
+def enumerate_leaf_regions(root: TreeNode, input_dim: int) -> List[LeafRegion]:
+    """Compute the decision path and input box of every leaf under ``root``.
+
+    This is the core data structure behind Algorithm 1 of the paper: the boxes
+    partition the input space, and each leaf deterministically handles exactly
+    the inputs inside its box.
+    """
+    regions: List[LeafRegion] = []
+
+    def _walk(node: TreeNode, box: Box, path: List[PathStep]) -> None:
+        if node.is_leaf:
+            regions.append(LeafRegion(leaf=node, path=list(path), box=box))
+            return
+        left_box = box.intersect_upper(node.feature_index, node.threshold)
+        right_box = box.intersect_lower(node.feature_index, node.threshold)
+        _walk(node.left, left_box, path + [PathStep(node, went_left=True)])
+        _walk(node.right, right_box, path + [PathStep(node, went_left=False)])
+
+    _walk(root, Box.unbounded(input_dim), [])
+    return regions

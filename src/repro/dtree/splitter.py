@@ -1,0 +1,131 @@
+"""Split-point search for CART.
+
+For every candidate feature the splitter sorts the samples, scans the midpoints
+between consecutive distinct values and scores the induced partition with an
+impurity criterion (Gini or entropy for classification, variance/MSE for
+regression).  The best candidate over all features is returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def gini_impurity(labels: np.ndarray) -> float:
+    """Gini impurity of a label array."""
+    if len(labels) == 0:
+        return 0.0
+    _values, counts = np.unique(labels, return_counts=True)
+    proportions = counts / counts.sum()
+    return float(1.0 - np.sum(proportions**2))
+
+
+def entropy_impurity(labels: np.ndarray) -> float:
+    """Shannon entropy of a label array (bits)."""
+    if len(labels) == 0:
+        return 0.0
+    _values, counts = np.unique(labels, return_counts=True)
+    proportions = counts / counts.sum()
+    return float(-np.sum(proportions * np.log2(proportions)))
+
+
+def mse_impurity(values: np.ndarray) -> float:
+    """Variance of a target array (the MSE around its mean)."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.var(values))
+
+
+_CRITERIA = {
+    "gini": gini_impurity,
+    "entropy": entropy_impurity,
+    "mse": mse_impurity,
+}
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """A candidate split and its quality."""
+
+    feature_index: int
+    threshold: float
+    impurity_decrease: float
+    left_count: int
+    right_count: int
+
+
+def best_split(
+    features: np.ndarray,
+    targets: np.ndarray,
+    criterion: str = "gini",
+    min_samples_leaf: int = 1,
+    feature_indices: Optional[np.ndarray] = None,
+) -> Optional[SplitCandidate]:
+    """Find the impurity-minimising axis-aligned split.
+
+    Parameters
+    ----------
+    features:
+        ``(n, d)`` feature matrix.
+    targets:
+        Length-``n`` labels (classification) or values (regression).
+    criterion:
+        ``"gini"``, ``"entropy"`` or ``"mse"``.
+    min_samples_leaf:
+        Minimum number of samples each side of the split must retain.
+    feature_indices:
+        Optional subset of feature columns to consider.
+
+    Returns
+    -------
+    The best :class:`SplitCandidate`, or ``None`` if no valid split exists
+    (all targets identical, all feature values identical, or too few samples).
+    """
+    if criterion not in _CRITERIA:
+        raise ValueError(f"Unknown criterion {criterion!r}; available: {sorted(_CRITERIA)}")
+    impurity_fn = _CRITERIA[criterion]
+
+    features = np.atleast_2d(np.asarray(features, dtype=float))
+    targets = np.asarray(targets)
+    n, d = features.shape
+    if len(targets) != n:
+        raise ValueError("features and targets must have the same number of rows")
+    if n < 2 * min_samples_leaf:
+        return None
+    parent_impurity = impurity_fn(targets)
+    if parent_impurity <= 1e-12:
+        return None
+
+    columns = np.arange(d) if feature_indices is None else np.asarray(feature_indices)
+    best: Optional[SplitCandidate] = None
+
+    for feature in columns:
+        order = np.argsort(features[:, feature], kind="mergesort")
+        sorted_values = features[order, feature]
+        sorted_targets = targets[order]
+        # Candidate thresholds are midpoints between consecutive distinct values.
+        distinct_change = np.nonzero(np.diff(sorted_values) > 1e-12)[0]
+        for idx in distinct_change:
+            left_count = idx + 1
+            right_count = n - left_count
+            if left_count < min_samples_leaf or right_count < min_samples_leaf:
+                continue
+            threshold = 0.5 * (sorted_values[idx] + sorted_values[idx + 1])
+            left_impurity = impurity_fn(sorted_targets[:left_count])
+            right_impurity = impurity_fn(sorted_targets[left_count:])
+            weighted = (left_count * left_impurity + right_count * right_impurity) / n
+            decrease = parent_impurity - weighted
+            if decrease <= 1e-12:
+                continue
+            if best is None or decrease > best.impurity_decrease:
+                best = SplitCandidate(
+                    feature_index=int(feature),
+                    threshold=float(threshold),
+                    impurity_decrease=float(decrease),
+                    left_count=int(left_count),
+                    right_count=int(right_count),
+                )
+    return best

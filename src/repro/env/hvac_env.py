@@ -1,0 +1,267 @@
+"""The HVAC control environment.
+
+``HVACEnvironment`` follows the familiar ``reset()`` / ``step(action)``
+interface.  Each step spans one control interval (15 minutes by default), sends
+the selected (heating, cooling) setpoints to every zone of the building plant,
+advances the thermal simulation under the current weather and occupancy
+disturbances and returns the next observation and the Eq. 2 reward.
+
+Observations are the Table-1 vector, in this order::
+
+    [zone temperature, outdoor drybulb temperature, outdoor relative humidity,
+     site wind speed, site solar radiation, zone occupant count]
+
+Agents that plan ahead (RS / MPPI / CLUE) can query
+:meth:`HVACEnvironment.disturbance_forecast`, mirroring the standard MBRL
+assumption of the paper's baselines that near-term weather and occupancy are
+available from forecasts and schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.buildings.building import Building, make_five_zone_building
+from repro.buildings.occupancy import OccupancySeries, office_schedule
+from repro.env.reward import RewardBreakdown, compute_reward
+from repro.env.spaces import Box, SetpointSpace
+from repro.utils.config import ActionSpaceConfig, ExperimentConfig, RewardConfig, SimulationConfig
+from repro.utils.rng import RNGLike, ensure_rng
+from repro.weather.tmy import WeatherSeries, generate_weather
+
+#: Canonical ordering of the observation vector (Table 1 of the paper).
+OBSERVATION_NAMES: Tuple[str, ...] = (
+    "zone_temperature",
+    "outdoor_temperature",
+    "relative_humidity",
+    "wind_speed",
+    "solar_radiation",
+    "occupant_count",
+)
+
+#: The disturbance components of the observation (everything except the state).
+DISTURBANCE_NAMES: Tuple[str, ...] = OBSERVATION_NAMES[1:]
+
+
+@dataclass
+class EnvironmentStep:
+    """The result of one environment step."""
+
+    observation: np.ndarray
+    reward: float
+    terminated: bool
+    truncated: bool
+    info: Dict[str, float] = field(default_factory=dict)
+
+
+class HVACEnvironment:
+    """Simulated HVAC control environment for one building in one city."""
+
+    def __init__(
+        self,
+        building: Building,
+        weather: WeatherSeries,
+        occupancy: OccupancySeries,
+        config: Optional[ExperimentConfig] = None,
+        initial_zone_temperature: float = 20.0,
+    ):
+        self.config = config or ExperimentConfig()
+        self.building = building
+        self.weather = weather
+        self.occupancy = occupancy
+        if len(weather) != len(occupancy):
+            raise ValueError(
+                f"Weather ({len(weather)} steps) and occupancy ({len(occupancy)} steps) "
+                "must cover the same horizon"
+            )
+        self.initial_zone_temperature = float(initial_zone_temperature)
+        self.action_space = SetpointSpace(self.config.actions)
+        self.observation_space = Box(
+            low=[-50.0, -50.0, 0.0, 0.0, 0.0, 0.0],
+            high=[60.0, 60.0, 100.0, 40.0, 1400.0, 200.0],
+            names=list(OBSERVATION_NAMES),
+        )
+        self._step_index = 0
+        self._rng = ensure_rng(self.config.seed)
+        self._last_observation: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ props
+    @property
+    def num_steps(self) -> int:
+        """Total number of control steps in the episode."""
+        return len(self.weather)
+
+    @property
+    def step_index(self) -> int:
+        return self._step_index
+
+    @property
+    def step_duration_seconds(self) -> float:
+        return self.config.simulation.minutes_per_step * 60.0
+
+    @property
+    def observation_names(self) -> List[str]:
+        return list(OBSERVATION_NAMES)
+
+    @property
+    def disturbance_names(self) -> List[str]:
+        return list(DISTURBANCE_NAMES)
+
+    # ------------------------------------------------------------- observation
+    def disturbance_at(self, step: int) -> np.ndarray:
+        """The 5-dimensional disturbance vector at ``step``."""
+        weather = self.weather.disturbance_at(step)
+        count, _occupied = self.occupancy.at(step)
+        return np.array(
+            [
+                weather["outdoor_temperature"],
+                weather["relative_humidity"],
+                weather["wind_speed"],
+                weather["solar_radiation"],
+                count,
+            ]
+        )
+
+    def occupied_at(self, step: int) -> bool:
+        """Whether the building is occupied at ``step`` (controls w_e)."""
+        _count, occupied = self.occupancy.at(step)
+        return occupied
+
+    def hour_of_day_at(self, step: int) -> float:
+        return float(self.weather.hour_of_day[int(step) % len(self.weather)])
+
+    def disturbance_forecast(self, start_step: int, horizon: int) -> np.ndarray:
+        """Disturbances for ``horizon`` steps starting at ``start_step`` (shape (H, 5))."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return np.stack([self.disturbance_at(start_step + h) for h in range(horizon)])
+
+    def observation(self) -> np.ndarray:
+        """The current observation vector (state + disturbances)."""
+        disturbance = self.disturbance_at(self._step_index)
+        return np.concatenate(([self.building.controlled_zone_temperature], disturbance))
+
+    # ------------------------------------------------------------------ reset
+    def reset(self, seed: RNGLike = None) -> Tuple[np.ndarray, Dict[str, float]]:
+        """Reset the plant to the start of the episode."""
+        if seed is not None:
+            self._rng = ensure_rng(seed)
+        self._step_index = 0
+        self.building.reset(self.initial_zone_temperature)
+        obs = self.observation()
+        self._last_observation = obs
+        info = {
+            "step": 0,
+            "hour_of_day": self.hour_of_day_at(0),
+            "occupied": float(self.occupied_at(0)),
+        }
+        return obs, info
+
+    # ------------------------------------------------------------------- step
+    def step(self, action: Union[int, Tuple[float, float]]) -> EnvironmentStep:
+        """Apply a setpoint action and advance the simulation by one interval."""
+        heating, cooling = self._resolve_action(action)
+        step = self._step_index
+        if step >= self.num_steps:
+            raise RuntimeError("Episode is over; call reset() before stepping again")
+
+        disturbance = self.disturbance_at(step)
+        occupied = self.occupied_at(step)
+        result = self.building.step(
+            heating_setpoint_c=heating,
+            cooling_setpoint_c=cooling,
+            outdoor_temperature_c=float(disturbance[0]),
+            wind_speed_ms=float(disturbance[2]),
+            solar_radiation_w_m2=float(disturbance[3]),
+            occupant_count=float(disturbance[4]),
+            occupied=occupied,
+            duration_seconds=self.step_duration_seconds,
+        )
+
+        reward_breakdown: RewardBreakdown = compute_reward(
+            zone_temperature=result.controlled_zone_temperature,
+            heating_setpoint=heating,
+            cooling_setpoint=cooling,
+            occupied=occupied,
+            reward_config=self.config.reward,
+            actions=self.config.actions,
+        )
+
+        self._step_index += 1
+        truncated = self._step_index >= self.num_steps
+        observation = self.observation() if not truncated else np.concatenate(
+            ([result.controlled_zone_temperature], self.disturbance_at(self._step_index - 1))
+        )
+        self._last_observation = observation
+
+        comfort = self.config.reward.comfort
+        info = {
+            "step": step,
+            "hour_of_day": self.hour_of_day_at(step),
+            "occupied": float(occupied),
+            "heating_setpoint": float(heating),
+            "cooling_setpoint": float(cooling),
+            "zone_temperature": result.controlled_zone_temperature,
+            "hvac_electric_energy_kwh": result.hvac_electric_energy_kwh,
+            "heating_energy_kwh": result.heating_energy_kwh,
+            "cooling_energy_kwh": result.cooling_energy_kwh,
+            "energy_proxy": reward_breakdown.energy_proxy,
+            "comfort_violation": reward_breakdown.comfort_violation,
+            "comfort_violated": float(
+                occupied and not comfort.contains(result.controlled_zone_temperature)
+            ),
+        }
+        return EnvironmentStep(
+            observation=observation,
+            reward=reward_breakdown.reward,
+            terminated=False,
+            truncated=truncated,
+            info=info,
+        )
+
+    # ---------------------------------------------------------------- helpers
+    def _resolve_action(self, action: Union[int, Tuple[float, float]]) -> Tuple[int, int]:
+        """Accept either a discrete action index or an explicit setpoint pair."""
+        if isinstance(action, (tuple, list, np.ndarray)):
+            if len(action) != 2:
+                raise ValueError("Setpoint actions must be (heating, cooling) pairs")
+            return self.config.actions.clip(float(action[0]), float(action[1]))
+        return self.action_space.to_pair(int(action))
+
+
+def make_environment(
+    city: str = "pittsburgh",
+    seed: int = 0,
+    days: Optional[int] = None,
+    config: Optional[ExperimentConfig] = None,
+    peak_occupants: int = 24,
+) -> HVACEnvironment:
+    """Build the standard experiment environment for a named city.
+
+    Uses the five-zone reference building, a synthetic January weather trace
+    for the city and the office occupancy schedule.
+    """
+    if config is None:
+        config = ExperimentConfig(city=city, seed=seed)
+    simulation = config.simulation
+    if days is not None:
+        simulation = SimulationConfig(
+            days=days,
+            minutes_per_step=config.simulation.minutes_per_step,
+            start_month=config.simulation.start_month,
+            start_day_of_year=config.simulation.start_day_of_year,
+        )
+        config = ExperimentConfig(
+            city=city,
+            simulation=simulation,
+            actions=config.actions,
+            reward=config.reward,
+            seed=seed,
+        )
+    weather = generate_weather(city, seed=seed, days=simulation.days, simulation=simulation)
+    occupancy = office_schedule(peak_occupants).generate_series(simulation, seed=seed + 1)
+    building = make_five_zone_building()
+    return HVACEnvironment(building=building, weather=weather, occupancy=occupancy, config=config)

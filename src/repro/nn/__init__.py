@@ -1,0 +1,34 @@
+"""Minimal neural-network toolkit (PyTorch substitute).
+
+The paper trains a small MLP thermal-dynamics model with Adam, MSE loss and
+weight decay (epochs=150, lr=1e-3, weight_decay=1e-5).  This package implements
+exactly that, in NumPy: dense layers with activations, forward/backward passes,
+Adam and SGD optimisers, an MSE loss, a standardising data normaliser, a
+mini-batch trainer and bootstrap ensembles (used by the CLUE-style baseline for
+epistemic-uncertainty estimation).
+"""
+
+from repro.nn.layers import DenseLayer, ACTIVATIONS
+from repro.nn.losses import mse_loss, mse_loss_gradient, mae_loss
+from repro.nn.optim import SGD, Adam
+from repro.nn.mlp import MLP
+from repro.nn.training import Normalizer, TrainingHistory, train_regressor
+from repro.nn.ensemble import BootstrapEnsemble
+from repro.nn.dynamics import ThermalDynamicsModel, EnsembleDynamicsModel
+
+__all__ = [
+    "DenseLayer",
+    "ACTIVATIONS",
+    "mse_loss",
+    "mse_loss_gradient",
+    "mae_loss",
+    "SGD",
+    "Adam",
+    "MLP",
+    "Normalizer",
+    "TrainingHistory",
+    "train_regressor",
+    "BootstrapEnsemble",
+    "ThermalDynamicsModel",
+    "EnsembleDynamicsModel",
+]

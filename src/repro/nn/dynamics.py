@@ -1,0 +1,231 @@
+"""Learned thermal-dynamics models.
+
+The dynamics model is the regression model ``f_hat(s, d, a) -> s'`` at the
+centre of the MBRL pipeline: it is trained on the historical transition dataset
+and then queried by the stochastic optimiser (random shooting / MPPI), by the
+decision-dataset generator and by the probabilistic verifier.
+
+Two variants are provided:
+
+* :class:`ThermalDynamicsModel` — a single MLP (the paper's setup),
+* :class:`EnsembleDynamicsModel` — a bootstrap ensemble exposing epistemic
+  uncertainty, used by the CLUE-style baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.env.dataset import TransitionDataset
+from repro.nn.ensemble import BootstrapEnsemble
+from repro.nn.mlp import MLP
+from repro.nn.training import Normalizer, TrainingHistory, train_regressor
+from repro.utils.rng import RNGLike, ensure_rng
+
+#: Dynamics-model input layout: [s, d_1..d_5, heating setpoint, cooling setpoint].
+DYNAMICS_INPUT_DIM = 8
+DYNAMICS_OUTPUT_DIM = 1
+
+
+def _stack_model_inputs(
+    states: np.ndarray, disturbances: np.ndarray, actions: np.ndarray
+) -> np.ndarray:
+    """Assemble (s, d, a) rows from separate arrays (broadcast-friendly)."""
+    states = np.atleast_1d(np.asarray(states, dtype=float)).reshape(-1, 1)
+    disturbances = np.atleast_2d(np.asarray(disturbances, dtype=float))
+    actions = np.atleast_2d(np.asarray(actions, dtype=float))
+    n = max(len(states), len(disturbances), len(actions))
+    if len(states) == 1 and n > 1:
+        states = np.repeat(states, n, axis=0)
+    if len(disturbances) == 1 and n > 1:
+        disturbances = np.repeat(disturbances, n, axis=0)
+    if len(actions) == 1 and n > 1:
+        actions = np.repeat(actions, n, axis=0)
+    if not (len(states) == len(disturbances) == len(actions)):
+        raise ValueError("states, disturbances and actions must have compatible lengths")
+    return np.hstack([states, disturbances, actions])
+
+
+class ThermalDynamicsModel:
+    """MLP dynamics model with input/output standardisation.
+
+    The model predicts the *change* in zone temperature (a standard residual
+    parameterisation that improves accuracy for slow thermal dynamics) and adds
+    it back to the current state at prediction time.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (64, 64),
+        seed: RNGLike = None,
+        predict_delta: bool = True,
+    ):
+        self.network = MLP(DYNAMICS_INPUT_DIM, DYNAMICS_OUTPUT_DIM, hidden_sizes=hidden_sizes, seed=seed)
+        self.input_normalizer = Normalizer()
+        self.target_normalizer = Normalizer()
+        self.predict_delta = predict_delta
+        self.history: Optional[TrainingHistory] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.input_normalizer.is_fitted and self.target_normalizer.is_fitted
+
+    # -------------------------------------------------------------------- fit
+    def fit(
+        self,
+        dataset: TransitionDataset,
+        epochs: int = 150,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-5,
+        batch_size: int = 64,
+        seed: RNGLike = None,
+    ) -> TrainingHistory:
+        """Train on a historical transition dataset (paper hyper-parameters)."""
+        if len(dataset) == 0:
+            raise ValueError("Cannot fit a dynamics model on an empty dataset")
+        inputs = dataset.model_inputs()
+        next_states = dataset.model_targets()
+        targets = next_states - dataset.states().reshape(-1, 1) if self.predict_delta else next_states
+
+        x = self.input_normalizer.fit_transform(inputs)
+        y = self.target_normalizer.fit_transform(targets)
+        self.history = train_regressor(
+            self.network,
+            x,
+            y,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            weight_decay=weight_decay,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        return self.history
+
+    # ---------------------------------------------------------------- predict
+    def predict(
+        self,
+        states: Union[float, np.ndarray],
+        disturbances: np.ndarray,
+        actions: np.ndarray,
+    ) -> np.ndarray:
+        """Predict next zone temperatures for a batch of (s, d, a) inputs."""
+        if not self.is_fitted:
+            raise RuntimeError("Dynamics model must be fitted before prediction")
+        raw_inputs = _stack_model_inputs(states, disturbances, actions)
+        x = self.input_normalizer.transform(raw_inputs)
+        y = self.target_normalizer.inverse_transform(self.network.forward(x))
+        predictions = y[:, 0]
+        if self.predict_delta:
+            predictions = predictions + raw_inputs[:, 0]
+        return predictions
+
+    def predict_next_state(
+        self, state: float, disturbance: np.ndarray, action: Sequence[float]
+    ) -> float:
+        """Predict the next zone temperature for a single transition."""
+        return float(
+            self.predict(
+                np.array([state]),
+                np.asarray(disturbance, dtype=float).reshape(1, -1),
+                np.asarray(action, dtype=float).reshape(1, -1),
+            )[0]
+        )
+
+    def evaluate(self, dataset: TransitionDataset) -> Tuple[float, float]:
+        """Return (RMSE, MAE) of next-state predictions on a dataset."""
+        if len(dataset) == 0:
+            raise ValueError("Cannot evaluate on an empty dataset")
+        inputs = dataset.policy_inputs()
+        predictions = self.predict(
+            dataset.states(), inputs[:, 1:], dataset.actions().astype(float)
+        )
+        targets = dataset.model_targets()[:, 0]
+        errors = predictions - targets
+        return float(np.sqrt(np.mean(errors**2))), float(np.mean(np.abs(errors)))
+
+
+class EnsembleDynamicsModel:
+    """Bootstrap-ensemble dynamics model with epistemic uncertainty estimates."""
+
+    def __init__(
+        self,
+        num_members: int = 5,
+        hidden_sizes: Sequence[int] = (64, 64),
+        seed: RNGLike = None,
+        predict_delta: bool = True,
+    ):
+        self.ensemble = BootstrapEnsemble(
+            DYNAMICS_INPUT_DIM,
+            DYNAMICS_OUTPUT_DIM,
+            num_members=num_members,
+            hidden_sizes=hidden_sizes,
+            seed=seed,
+        )
+        self.input_normalizer = Normalizer()
+        self.target_normalizer = Normalizer()
+        self.predict_delta = predict_delta
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(
+        self,
+        dataset: TransitionDataset,
+        epochs: int = 150,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-5,
+        batch_size: int = 64,
+        seed: RNGLike = None,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError("Cannot fit a dynamics model on an empty dataset")
+        inputs = dataset.model_inputs()
+        next_states = dataset.model_targets()
+        targets = next_states - dataset.states().reshape(-1, 1) if self.predict_delta else next_states
+        x = self.input_normalizer.fit_transform(inputs)
+        y = self.target_normalizer.fit_transform(targets)
+        self.ensemble.fit(
+            x,
+            y,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            weight_decay=weight_decay,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        self._fitted = True
+
+    def predict(
+        self,
+        states: Union[float, np.ndarray],
+        disturbances: np.ndarray,
+        actions: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (mean next state, epistemic std) for a batch of inputs."""
+        if not self._fitted:
+            raise RuntimeError("Dynamics model must be fitted before prediction")
+        raw_inputs = _stack_model_inputs(states, disturbances, actions)
+        x = self.input_normalizer.transform(raw_inputs)
+        member_outputs = self.ensemble.predict_all(x)  # (members, n, 1)
+        member_outputs = np.stack(
+            [self.target_normalizer.inverse_transform(out) for out in member_outputs]
+        )
+        mean = member_outputs.mean(axis=0)[:, 0]
+        std = member_outputs.std(axis=0)[:, 0]
+        if self.predict_delta:
+            mean = mean + raw_inputs[:, 0]
+        return mean, std
+
+    def predict_next_state(
+        self, state: float, disturbance: np.ndarray, action: Sequence[float]
+    ) -> Tuple[float, float]:
+        mean, std = self.predict(
+            np.array([state]),
+            np.asarray(disturbance, dtype=float).reshape(1, -1),
+            np.asarray(action, dtype=float).reshape(1, -1),
+        )
+        return float(mean[0]), float(std[0])

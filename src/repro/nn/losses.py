@@ -1,0 +1,32 @@
+"""Regression losses used by the dynamics-model trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared error averaged over samples and output dimensions."""
+    predictions = np.atleast_2d(predictions)
+    targets = np.atleast_2d(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError(f"Shape mismatch: {predictions.shape} vs {targets.shape}")
+    return float(np.mean((predictions - targets) ** 2))
+
+
+def mse_loss_gradient(predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`mse_loss` with respect to the predictions."""
+    predictions = np.atleast_2d(predictions)
+    targets = np.atleast_2d(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError(f"Shape mismatch: {predictions.shape} vs {targets.shape}")
+    return 2.0 * (predictions - targets) / predictions.size
+
+
+def mae_loss(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute error (reported as a validation metric)."""
+    predictions = np.atleast_2d(predictions)
+    targets = np.atleast_2d(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError(f"Shape mismatch: {predictions.shape} vs {targets.shape}")
+    return float(np.mean(np.abs(predictions - targets)))

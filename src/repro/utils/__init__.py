@@ -1,0 +1,31 @@
+"""Shared utilities: RNG handling, configuration, serialization and table formatting.
+
+These helpers are deliberately dependency-light (NumPy only) so every other
+subpackage can rely on them without import cycles.
+"""
+
+from repro.utils.config import (
+    SimulationConfig,
+    RewardConfig,
+    ActionSpaceConfig,
+    ComfortConfig,
+    ExperimentConfig,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.serialization import to_jsonable, save_json, load_json
+from repro.utils.tables import format_table, format_float
+
+__all__ = [
+    "SimulationConfig",
+    "RewardConfig",
+    "ActionSpaceConfig",
+    "ComfortConfig",
+    "ExperimentConfig",
+    "ensure_rng",
+    "spawn_rngs",
+    "to_jsonable",
+    "save_json",
+    "load_json",
+    "format_table",
+    "format_float",
+]

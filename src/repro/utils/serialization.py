@@ -1,0 +1,52 @@
+"""JSON-based serialization helpers.
+
+Decision trees, extracted policies and experiment results are persisted as JSON
+so they can be inspected by hand — interpretability is a theme of the paper,
+and a policy file a building manager can open in a text editor is part of that.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into plain JSON-serialisable values."""
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "to_dict"):
+        return to_jsonable(obj.to_dict())
+    if hasattr(obj, "__dict__"):
+        return to_jsonable(vars(obj))
+    raise TypeError(f"Object of type {type(obj)!r} is not JSON serialisable")
+
+
+def save_json(obj: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Serialise ``obj`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(to_jsonable(obj), fh, indent=indent, sort_keys=False)
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load JSON from ``path``."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

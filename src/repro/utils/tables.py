@@ -1,0 +1,52 @@
+"""Plain-text table formatting used by the benchmark harness.
+
+The benchmarks print the same rows the paper reports (Table 2, Table 3, the
+series behind each figure); this module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_float(value: Any, digits: int = 3) -> str:
+    """Format a number compactly; pass strings through unchanged."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int,)):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.1f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+    digits: int = 3,
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    str_rows: List[List[str]] = [[format_float(cell, digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("Row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Synthetic TMY-style weather generation.
+
+The paper drives EnergyPlus with 2021 TMY3 weather files for Pittsburgh
+(ASHRAE climate zone 4A) and Tucson (ASHRAE 2B).  Those files are not
+available offline, so this package synthesises weather traces with the correct
+January statistics for each climate zone: diurnal temperature cycles with
+climate-specific means and amplitudes, correlated relative humidity, gusty wind
+and a clear-sky solar model modulated by stochastic cloud cover.
+
+The generated traces expose exactly the disturbance variables of Table 1 in the
+paper: outdoor air drybulb temperature, outdoor relative humidity, site wind
+speed and site total radiation rate per area.
+"""
+
+from repro.weather.climates import ClimateProfile, get_climate, available_climates
+from repro.weather.solar import clear_sky_radiation, solar_elevation_angle
+from repro.weather.tmy import WeatherSeries, WeatherGenerator, generate_weather
+
+__all__ = [
+    "ClimateProfile",
+    "get_climate",
+    "available_climates",
+    "clear_sky_radiation",
+    "solar_elevation_angle",
+    "WeatherSeries",
+    "WeatherGenerator",
+    "generate_weather",
+]

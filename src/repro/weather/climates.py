@@ -1,0 +1,117 @@
+"""Climate profiles for the cities used in the paper.
+
+The paper evaluates on two climate-distinct cities, Pittsburgh (ASHRAE 4A,
+mixed-humid) and Tucson (ASHRAE 2B, hot-dry), and uses New York (also 4A) in
+the Fig. 3 noise-level study as the "similar city".  Each profile stores the
+January statistics needed by the synthetic weather generator: mean daily
+minimum/maximum drybulb temperature, humidity level, wind climatology, latitude
+(for the solar model) and typical cloudiness.
+
+January values are approximations of long-term NOAA normals; the reproduction
+only needs the relative character of the climates (cold and cloudy vs mild and
+sunny), not the exact 2021 trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ClimateProfile:
+    """January climate statistics for one city."""
+
+    name: str
+    ashrae_zone: str
+    latitude_deg: float
+    longitude_deg: float
+    january_tmin_c: float
+    january_tmax_c: float
+    temperature_day_to_day_std_c: float
+    mean_relative_humidity: float
+    relative_humidity_std: float
+    mean_wind_speed_ms: float
+    wind_speed_std_ms: float
+    mean_cloud_cover: float
+    cloud_cover_std: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.mean_cloud_cover <= 1.0):
+            raise ValueError("mean_cloud_cover must be in [0, 1]")
+        if not (0.0 <= self.mean_relative_humidity <= 100.0):
+            raise ValueError("mean_relative_humidity must be a percentage")
+        if self.january_tmin_c > self.january_tmax_c:
+            raise ValueError("january_tmin_c must not exceed january_tmax_c")
+
+    @property
+    def january_mean_c(self) -> float:
+        return 0.5 * (self.january_tmin_c + self.january_tmax_c)
+
+    @property
+    def diurnal_amplitude_c(self) -> float:
+        return 0.5 * (self.january_tmax_c - self.january_tmin_c)
+
+
+_CLIMATES: Dict[str, ClimateProfile] = {
+    "pittsburgh": ClimateProfile(
+        name="pittsburgh",
+        ashrae_zone="4A",
+        latitude_deg=40.44,
+        longitude_deg=-79.99,
+        january_tmin_c=-5.5,
+        january_tmax_c=2.5,
+        temperature_day_to_day_std_c=4.0,
+        mean_relative_humidity=68.0,
+        relative_humidity_std=12.0,
+        mean_wind_speed_ms=4.3,
+        wind_speed_std_ms=1.8,
+        mean_cloud_cover=0.68,
+        cloud_cover_std=0.22,
+    ),
+    "new_york": ClimateProfile(
+        name="new_york",
+        ashrae_zone="4A",
+        latitude_deg=40.71,
+        longitude_deg=-74.01,
+        january_tmin_c=-2.8,
+        january_tmax_c=4.3,
+        temperature_day_to_day_std_c=3.8,
+        mean_relative_humidity=62.0,
+        relative_humidity_std=12.0,
+        mean_wind_speed_ms=4.9,
+        wind_speed_std_ms=1.9,
+        mean_cloud_cover=0.60,
+        cloud_cover_std=0.22,
+    ),
+    "tucson": ClimateProfile(
+        name="tucson",
+        ashrae_zone="2B",
+        latitude_deg=32.22,
+        longitude_deg=-110.97,
+        january_tmin_c=4.5,
+        january_tmax_c=18.5,
+        temperature_day_to_day_std_c=3.0,
+        mean_relative_humidity=45.0,
+        relative_humidity_std=14.0,
+        mean_wind_speed_ms=3.1,
+        wind_speed_std_ms=1.4,
+        mean_cloud_cover=0.30,
+        cloud_cover_std=0.20,
+    ),
+}
+
+
+def available_climates() -> List[str]:
+    """Names of the built-in climate profiles."""
+    return sorted(_CLIMATES)
+
+
+def get_climate(name: str) -> ClimateProfile:
+    """Look up a climate profile by city name (case-insensitive)."""
+    key = name.strip().lower().replace(" ", "_").replace("-", "_")
+    if key not in _CLIMATES:
+        raise KeyError(
+            f"Unknown climate {name!r}. Available climates: {', '.join(available_climates())}"
+        )
+    return _CLIMATES[key]

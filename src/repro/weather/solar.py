@@ -1,0 +1,44 @@
+"""A simple clear-sky solar radiation model.
+
+EnergyPlus computes solar gains from detailed TMY3 irradiance columns.  Here we
+use a standard reduced model: solar elevation from latitude, declination and
+hour angle, and a clear-sky global horizontal irradiance proportional to the
+sine of the elevation with an atmospheric attenuation factor.  Cloud cover
+(stochastic, from the climate profile) multiplies the clear-sky value in the
+weather generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SOLAR_CONSTANT_W_M2 = 1361.0
+#: Broad-band clear-sky transmittance of the atmosphere (dimensionless).
+CLEAR_SKY_TRANSMITTANCE = 0.72
+
+
+def solar_declination_rad(day_of_year: float) -> float:
+    """Solar declination angle (radians) for a given day of the year (0-based)."""
+    return np.deg2rad(23.45) * np.sin(2.0 * np.pi * (284.0 + day_of_year + 1.0) / 365.0)
+
+
+def solar_elevation_angle(latitude_deg: float, day_of_year: float, hour_of_day: float) -> float:
+    """Solar elevation angle in radians (negative below the horizon)."""
+    lat = np.deg2rad(latitude_deg)
+    decl = solar_declination_rad(day_of_year)
+    hour_angle = np.deg2rad(15.0 * (hour_of_day - 12.0))
+    sin_elev = np.sin(lat) * np.sin(decl) + np.cos(lat) * np.cos(decl) * np.cos(hour_angle)
+    return float(np.arcsin(np.clip(sin_elev, -1.0, 1.0)))
+
+
+def clear_sky_radiation(latitude_deg: float, day_of_year: float, hour_of_day: float) -> float:
+    """Clear-sky global horizontal irradiance in W/m^2 (0 at night)."""
+    elevation = solar_elevation_angle(latitude_deg, day_of_year, hour_of_day)
+    if elevation <= 0.0:
+        return 0.0
+    air_mass = 1.0 / max(np.sin(elevation), 1e-3)
+    direct = SOLAR_CONSTANT_W_M2 * (CLEAR_SKY_TRANSMITTANCE ** (air_mass ** 0.678))
+    horizontal = direct * np.sin(elevation)
+    # Add a small diffuse fraction so overcast mornings are not exactly zero.
+    diffuse = 0.1 * SOLAR_CONSTANT_W_M2 * np.sin(elevation)
+    return float(max(horizontal + diffuse, 0.0))
