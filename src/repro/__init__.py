@@ -1,0 +1,51 @@
+"""Reproduction of the verified decision-tree HVAC policy paper.
+
+The public API surfaces three layers (all re-exported lazily here):
+
+* :class:`repro.core.pipeline.VerifiedPolicyPipeline` — the extract-verify-
+  deploy pipeline of Fig. 2 producing a verified
+  :class:`~repro.core.tree_policy.TreePolicy`,
+* :func:`repro.agents.make_agent` — registry-driven construction of every
+  controller evaluated in the paper,
+* :class:`repro.experiments.ExperimentRunner` — scenario-grid evaluation of
+  any registered agent (also available as ``python -m repro``).
+"""
+
+from __future__ import annotations
+
+__version__ = "0.2.0"
+
+#: Lazily resolved public names -> defining module.
+_LAZY_EXPORTS = {
+    "PipelineConfig": "repro.core.pipeline",
+    "PipelineResult": "repro.core.pipeline",
+    "VerifiedPolicyPipeline": "repro.core.pipeline",
+    "TreePolicy": "repro.core.tree_policy",
+    "make_agent": "repro.agents.registry",
+    "available_agents": "repro.agents.registry",
+    "register_agent": "repro.agents.registry",
+    "ScenarioSpec": "repro.experiments.scenarios",
+    "scenario_grid": "repro.experiments.scenarios",
+    "get_scenario": "repro.experiments.scenarios",
+    "ExperimentRunner": "repro.experiments.runner",
+    "ExperimentResult": "repro.experiments.runner",
+    "EpisodeResult": "repro.experiments.runner",
+    "HVACEnvironment": "repro.env.hvac_env",
+    "make_environment": "repro.env.hvac_env",
+}
+
+__all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Import heavyweight submodules only when their names are first used."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

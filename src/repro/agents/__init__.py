@@ -5,22 +5,44 @@ All controllers evaluated in the paper are implemented here:
 * the building's **default rule-based controller** (schedule-based setpoints),
 * the **MBRL agent** (learned dynamics model + random-shooting optimiser,
   the Mb2C-style baseline),
+* the **MPPI agent** (same dynamics model, MPPI optimiser — the optimiser
+  ablation),
 * the **CLUE-style agent** (ensemble dynamics model with an epistemic
   uncertainty fallback, the prior state of the art),
 * the **decision-tree agent** (the paper's contribution — a verified,
   deterministic tree policy; see :mod:`repro.core`),
-* plus a random agent (exploration/testing) and an MPPI optimiser variant.
+* plus random and constant agents (exploration/testing baselines).
+
+Every controller registers itself with :mod:`repro.agents.registry`, so any of
+them can be built from a string and a config dictionary::
+
+    from repro.agents import make_agent
+    agent = make_agent("mbrl", environment=env, seed=0)
 """
 
+from repro.agents.registry import (
+    available_agents,
+    agent_aliases,
+    agent_summaries,
+    canonical_name,
+    make_agent,
+    register_agent,
+)
 from repro.agents.base import BaseAgent, RandomAgent, ConstantAgent
 from repro.agents.rule_based import RuleBasedAgent
 from repro.agents.random_shooting import RandomShootingOptimizer, OptimizationResult
-from repro.agents.mppi import MPPIOptimizer
-from repro.agents.mbrl import MBRLAgent
+from repro.agents.mppi import MPPIOptimizer, MPPIAgent
+from repro.agents.mbrl import MBRLAgent, train_dynamics_from_environment
 from repro.agents.clue import CLUEAgent
 from repro.agents.dt_agent import DecisionTreeAgent
 
 __all__ = [
+    "available_agents",
+    "agent_aliases",
+    "agent_summaries",
+    "canonical_name",
+    "make_agent",
+    "register_agent",
     "BaseAgent",
     "RandomAgent",
     "ConstantAgent",
@@ -28,7 +50,9 @@ __all__ = [
     "RandomShootingOptimizer",
     "OptimizationResult",
     "MPPIOptimizer",
+    "MPPIAgent",
     "MBRLAgent",
+    "train_dynamics_from_environment",
     "CLUEAgent",
     "DecisionTreeAgent",
 ]

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.agents.registry import register_agent
 from repro.env.hvac_env import HVACEnvironment
 from repro.utils.rng import RNGLike, ensure_rng
 
@@ -37,7 +39,25 @@ class BaseAgent:
         action = self.select_action(observation, environment, step)
         return environment.action_space.to_pair(action)
 
+    # -------------------------------------------------- registry construction
+    @classmethod
+    def from_config(
+        cls, environment: Optional[HVACEnvironment] = None, seed: RNGLike = None, **kwargs
+    ) -> "BaseAgent":
+        """Build this agent from a config dictionary (the registry hook).
 
+        The default implementation forwards ``kwargs`` to the constructor and
+        passes ``seed`` along when the constructor accepts one.  Agents that
+        need the environment (to train a model or extract a policy) override
+        this.
+        """
+        parameters = inspect.signature(cls.__init__).parameters
+        if seed is not None and "seed" in parameters and "seed" not in kwargs:
+            kwargs["seed"] = seed
+        return cls(**kwargs)
+
+
+@register_agent("random")
 class RandomAgent(BaseAgent):
     """Uniformly random setpoints; used for exploration and as a sanity baseline."""
 
@@ -52,12 +72,13 @@ class RandomAgent(BaseAgent):
         return environment.action_space.sample(self._rng)
 
 
+@register_agent("constant", aliases=("fixed",))
 class ConstantAgent(BaseAgent):
     """Always returns the same setpoint pair (useful in tests and ablations)."""
 
     name = "constant"
 
-    def __init__(self, heating_setpoint: float, cooling_setpoint: float):
+    def __init__(self, heating_setpoint: float = 20.0, cooling_setpoint: float = 23.0):
         self.heating_setpoint = heating_setpoint
         self.cooling_setpoint = cooling_setpoint
 

@@ -14,15 +14,20 @@ from typing import Optional
 
 import numpy as np
 
+from typing import Sequence
+
 from repro.agents.base import BaseAgent
+from repro.agents.mbrl import train_dynamics_from_environment
 from repro.agents.random_shooting import RandomShootingOptimizer
+from repro.agents.registry import register_agent
 from repro.agents.rule_based import RuleBasedAgent
 from repro.env.hvac_env import HVACEnvironment
 from repro.nn.dynamics import EnsembleDynamicsModel
 from repro.utils.config import RewardConfig
-from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
 
 
+@register_agent("clue", aliases=("ensemble",))
 class CLUEAgent(BaseAgent):
     """Ensemble-MBRL agent with uncertainty-triggered fallback to the default controller."""
 
@@ -58,6 +63,40 @@ class CLUEAgent(BaseAgent):
         self._optimizer = None
         self.fallback_count = 0
         self.decision_count = 0
+
+    @classmethod
+    def from_config(
+        cls,
+        environment: Optional[HVACEnvironment] = None,
+        seed: RNGLike = None,
+        dynamics_model: Optional[EnsembleDynamicsModel] = None,
+        ensemble_members: int = 5,
+        hidden_sizes: Sequence[int] = (64, 64),
+        training_epochs: int = 30,
+        training_days: int = 2,
+        exploration_probability: float = 0.3,
+        **kwargs,
+    ) -> "CLUEAgent":
+        """Config hook: train an ensemble dynamics model when none is given."""
+        train_rng, agent_rng = spawn_rngs(seed, 2)
+        if dynamics_model is None:
+            if environment is None:
+                raise ValueError(
+                    "CLUEAgent needs either a dynamics_model or an environment "
+                    "to train one from"
+                )
+            dynamics_model = train_dynamics_from_environment(
+                environment,
+                seed=train_rng,
+                hidden_sizes=hidden_sizes,
+                training_epochs=training_epochs,
+                training_days=training_days,
+                exploration_probability=exploration_probability,
+                ensemble_members=ensemble_members,
+            )
+        if environment is not None and "reward_config" not in kwargs:
+            kwargs["reward_config"] = environment.config.reward
+        return cls(dynamics_model=dynamics_model, seed=agent_rng, **kwargs)
 
     def _ensure_optimizer(self, environment: HVACEnvironment) -> RandomShootingOptimizer:
         if self._optimizer is None:

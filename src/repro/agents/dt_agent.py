@@ -9,14 +9,19 @@ mapping from input to action is exactly deterministic (Fig. 5).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.agents.base import BaseAgent
+from repro.agents.registry import register_agent
 from repro.env.hvac_env import HVACEnvironment
+from repro.utils.rng import RNGLike
 
 
+@register_agent("dt", aliases=("tree", "decision_tree"))
 class DecisionTreeAgent(BaseAgent):
-    """Deploys an extracted decision-tree policy in the environment."""
+    """Deploys an extracted (verified) decision-tree policy in the environment."""
 
     name = "DT"
 
@@ -30,3 +35,52 @@ class DecisionTreeAgent(BaseAgent):
     ) -> int:
         heating, cooling = self.policy.setpoints_for(np.asarray(observation, dtype=float))
         return environment.action_space.to_index(heating, cooling)
+
+    @classmethod
+    def from_config(
+        cls,
+        environment: Optional[HVACEnvironment] = None,
+        seed: RNGLike = None,
+        policy=None,
+        policy_path: Optional[str] = None,
+        pipeline: Optional[dict] = None,
+        **kwargs,
+    ) -> "DecisionTreeAgent":
+        """Config hook: load or extract-and-verify a tree policy.
+
+        Resolution order: an in-memory ``policy``; a ``policy_path`` pointing
+        at JSON written by :meth:`repro.core.pipeline.PipelineResult.save_policy`
+        (or a bare ``TreePolicy.to_dict`` payload); otherwise a fresh
+        :class:`~repro.core.pipeline.VerifiedPolicyPipeline` run on a tiny
+        configuration matched to the environment's city and season, overridden
+        by the ``pipeline`` dictionary.
+        """
+        # Imported lazily: repro.core.pipeline itself imports agent modules.
+        from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+        from repro.core.tree_policy import TreePolicy
+        from repro.utils.serialization import load_json
+
+        if kwargs:
+            raise TypeError(f"Unexpected options for the dt agent: {sorted(kwargs)}")
+        if policy is not None:
+            return cls(policy)
+        if policy_path is not None:
+            payload = load_json(policy_path)
+            payload = payload.get("policy", payload)
+            return cls(TreePolicy.from_dict(payload))
+
+        overrides = dict(pipeline or {})
+        if environment is not None:
+            overrides.setdefault("city", environment.config.city)
+            comfort = environment.config.reward.comfort
+            overrides.setdefault(
+                "season", "summer" if comfort.lower >= 22.0 else "winter"
+            )
+        if seed is not None:
+            if isinstance(seed, np.random.Generator):
+                overrides.setdefault("seed", int(seed.integers(0, 2**31 - 1)))
+            elif isinstance(seed, (int, np.integer)):
+                overrides.setdefault("seed", int(seed))
+        config = PipelineConfig.tiny(**overrides)
+        result = VerifiedPolicyPipeline(config).run()
+        return cls(result.policy)

@@ -15,12 +15,62 @@ import numpy as np
 
 from repro.agents.base import BaseAgent
 from repro.agents.random_shooting import RandomShootingOptimizer
-from repro.env.hvac_env import HVACEnvironment
-from repro.nn.dynamics import ThermalDynamicsModel
+from repro.agents.registry import register_agent
+from repro.env.hvac_env import HVACEnvironment, make_environment
+from repro.nn.dynamics import EnsembleDynamicsModel, ThermalDynamicsModel
 from repro.utils.config import RewardConfig
-from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
 
 
+def train_dynamics_from_environment(
+    environment: HVACEnvironment,
+    seed: RNGLike = None,
+    hidden_sizes: Sequence[int] = (64, 64),
+    training_epochs: int = 30,
+    training_days: int = 2,
+    exploration_probability: float = 0.3,
+    ensemble_members: Optional[int] = None,
+):
+    """Train a dynamics model on data collected in a copy of ``environment``.
+
+    The registry's config-driven construction path uses this when a
+    model-based agent is requested without a pre-trained model: a *separate*
+    environment with the same city, configuration and occupancy density is
+    rolled out under the exploratory rule-based behaviour policy (so the
+    target environment's episode state is untouched), and a dynamics model is
+    fitted on the resulting transitions.
+    """
+    from repro.agents.rule_based import RuleBasedAgent
+    from repro.env.dataset import collect_historical_data
+
+    collect_rng, fit_rng = spawn_rngs(seed, 2)
+    # The environment does not carry its occupancy schedule, only the realised
+    # series; the observed peak recovers the schedule's peak_occupants closely
+    # enough for training-data purposes.
+    observed_peak = int(round(float(np.max(environment.occupancy.counts, initial=0.0))))
+    source = make_environment(
+        days=max(int(training_days), 1),
+        config=environment.config,
+        peak_occupants=max(observed_peak, 1),
+    )
+    behaviour = RuleBasedAgent(comfort=environment.config.reward.comfort)
+    dataset = collect_historical_data(
+        source,
+        behaviour,
+        exploration_probability=exploration_probability,
+        seed=collect_rng,
+    )
+    if ensemble_members:
+        model = EnsembleDynamicsModel(
+            num_members=ensemble_members, hidden_sizes=hidden_sizes, seed=fit_rng
+        )
+    else:
+        model = ThermalDynamicsModel(hidden_sizes=hidden_sizes, seed=fit_rng)
+    model.fit(dataset, epochs=training_epochs, seed=fit_rng)
+    return model
+
+
+@register_agent("mbrl", aliases=("rs", "random_shooting"))
 class MBRLAgent(BaseAgent):
     """Model-based RL agent using random shooting over a learned dynamics model."""
 
@@ -61,6 +111,38 @@ class MBRLAgent(BaseAgent):
         # The optimiser is tied to the environment's action space; rebuilding it
         # on reset keeps the agent reusable across environments.
         self._optimizer = None
+
+    @classmethod
+    def from_config(
+        cls,
+        environment: Optional[HVACEnvironment] = None,
+        seed: RNGLike = None,
+        dynamics_model: Optional[ThermalDynamicsModel] = None,
+        hidden_sizes: Sequence[int] = (64, 64),
+        training_epochs: int = 30,
+        training_days: int = 2,
+        exploration_probability: float = 0.3,
+        **kwargs,
+    ) -> "MBRLAgent":
+        """Config hook: train a dynamics model from the environment when none is given."""
+        train_rng, agent_rng = spawn_rngs(seed, 2)
+        if dynamics_model is None:
+            if environment is None:
+                raise ValueError(
+                    f"{cls.__name__} needs either a dynamics_model or an environment "
+                    "to train one from"
+                )
+            dynamics_model = train_dynamics_from_environment(
+                environment,
+                seed=train_rng,
+                hidden_sizes=hidden_sizes,
+                training_epochs=training_epochs,
+                training_days=training_days,
+                exploration_probability=exploration_probability,
+            )
+        if environment is not None and "reward_config" not in kwargs:
+            kwargs["reward_config"] = environment.config.reward
+        return cls(dynamics_model=dynamics_model, seed=agent_rng, **kwargs)
 
     def forecast_for(self, environment: HVACEnvironment, step: int) -> tuple:
         """The (disturbance, occupied-flag) forecast over the planning horizon."""

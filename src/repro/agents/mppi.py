@@ -13,7 +13,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.agents.mbrl import MBRLAgent
 from repro.agents.random_shooting import OptimizationResult
+from repro.agents.registry import register_agent
 from repro.env.spaces import SetpointSpace
 from repro.utils.config import ActionSpaceConfig, RewardConfig
 from repro.utils.rng import RNGLike, ensure_rng
@@ -123,3 +125,55 @@ class MPPIOptimizer:
         if isinstance(prediction, tuple):
             return prediction[0]
         return prediction
+
+
+@register_agent("mppi")
+class MPPIAgent(MBRLAgent):
+    """MBRL agent whose stochastic optimiser is MPPI instead of random shooting.
+
+    Included for the paper's optimiser ablation: same learned dynamics model
+    and reward, different planner.
+    """
+
+    name = "MPPI"
+
+    def __init__(
+        self,
+        dynamics_model,
+        reward_config: Optional[RewardConfig] = None,
+        num_samples: int = 200,
+        horizon: int = 20,
+        num_iterations: int = 3,
+        temperature: float = 1.0,
+        noise_std: float = 2.0,
+        discount: float = 0.99,
+        seed: RNGLike = None,
+    ):
+        super().__init__(
+            dynamics_model=dynamics_model,
+            reward_config=reward_config,
+            num_samples=num_samples,
+            horizon=horizon,
+            discount=discount,
+            seed=seed,
+        )
+        self.num_iterations = num_iterations
+        self.temperature = temperature
+        self.noise_std = noise_std
+
+    def _ensure_optimizer(self, environment) -> MPPIOptimizer:
+        if self._optimizer is None:
+            self._optimizer = MPPIOptimizer(
+                dynamics_model=self.dynamics_model,
+                action_space=environment.action_space,
+                reward_config=self.reward_config,
+                action_config=environment.config.actions,
+                num_samples=self.num_samples,
+                horizon=self.horizon,
+                num_iterations=self.num_iterations,
+                temperature=self.temperature,
+                noise_std=self.noise_std,
+                discount=self.discount,
+                seed=self._rng,
+            )
+        return self._optimizer

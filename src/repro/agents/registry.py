@@ -1,0 +1,146 @@
+"""Registry-driven agent construction.
+
+Every controller in the library registers itself under a canonical name (plus
+aliases), so callers — the :class:`~repro.experiments.runner.ExperimentRunner`,
+the CLI, config files — can build any agent from a string and a keyword
+dictionary::
+
+    from repro.agents import make_agent
+
+    agent = make_agent("rule_based")
+    agent = make_agent("mbrl", environment=env, training_epochs=30)
+    agent = make_agent("dt", environment=env, pipeline={"num_decision_data": 200})
+
+Construction goes through the class's ``from_config`` hook (see
+:meth:`repro.agents.base.BaseAgent.from_config`), which receives the target
+environment and a seed so model-based agents can train their dynamics model
+and the decision-tree agent can extract-and-verify its policy on the fly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.utils.rng import RNGLike
+
+
+@dataclass(frozen=True)
+class AgentSpec:
+    """One registry entry."""
+
+    name: str
+    builder: Callable
+    aliases: tuple
+    summary: str
+
+
+_REGISTRY: Dict[str, AgentSpec] = {}
+_ALIASES: Dict[str, str] = {}
+_BUILTINS_LOADED = False
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower().replace("-", "_").replace(" ", "_")
+
+
+def register_agent(
+    name: str,
+    *,
+    aliases: Sequence[str] = (),
+    summary: str = "",
+) -> Callable:
+    """Class decorator (or factory decorator) adding an agent to the registry.
+
+    The decorated object is either a :class:`~repro.agents.base.BaseAgent`
+    subclass — built through its ``from_config`` classmethod — or a plain
+    callable with the signature ``factory(environment=None, seed=None,
+    **kwargs)``.
+    """
+    key = _normalise(name)
+
+    def decorator(obj):
+        builder = obj.from_config if hasattr(obj, "from_config") else obj
+        doc = summary
+        if not doc and obj.__doc__:
+            doc = obj.__doc__.strip().splitlines()[0]
+        spec = AgentSpec(name=key, builder=builder, aliases=tuple(aliases), summary=doc)
+        if key in _REGISTRY:
+            raise ValueError(f"Agent {key!r} is already registered")
+        _REGISTRY[key] = spec
+        for alias in spec.aliases:
+            alias_key = _normalise(alias)
+            if alias_key in _REGISTRY or alias_key in _ALIASES:
+                raise ValueError(f"Agent alias {alias_key!r} collides with an existing name")
+            _ALIASES[alias_key] = key
+        return obj
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in agent modules so their decorators have run."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # Importing the package pulls in every controller module, each of which
+    # registers itself at import time.
+    import repro.agents  # noqa: F401  (side-effect import)
+
+    _BUILTINS_LOADED = True
+
+
+def canonical_name(name: str) -> str:
+    """Resolve an agent name or alias to its canonical registry key."""
+    _ensure_builtins()
+    key = _normalise(name)
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"Unknown agent {name!r}. Registered agents: {', '.join(available_agents())}"
+        )
+    return key
+
+
+def available_agents() -> List[str]:
+    """Canonical names of every registered agent."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def agent_summaries() -> Dict[str, str]:
+    """Canonical name -> one-line description, for the CLI listing."""
+    _ensure_builtins()
+    return {name: spec.summary for name, spec in sorted(_REGISTRY.items())}
+
+
+def agent_aliases() -> Dict[str, str]:
+    """Alias -> canonical name mapping."""
+    _ensure_builtins()
+    return dict(_ALIASES)
+
+
+def make_agent(
+    name: str,
+    environment=None,
+    seed: RNGLike = None,
+    **kwargs,
+):
+    """Build a registered agent from its name and a config dictionary.
+
+    Parameters
+    ----------
+    name:
+        Canonical agent name or alias (case/dash-insensitive).
+    environment:
+        The target :class:`~repro.env.hvac_env.HVACEnvironment`.  Model-based
+        agents use it to source training data and the action space; stateless
+        agents ignore it.
+    seed:
+        Seed forwarded to stochastic agents (and to on-the-fly model training),
+        making string-driven construction fully deterministic.
+    **kwargs:
+        Agent-specific constructor options (see each agent's ``from_config``).
+    """
+    spec = _REGISTRY[canonical_name(name)]
+    return spec.builder(environment=environment, seed=seed, **kwargs)

@@ -14,12 +14,15 @@ from typing import Optional
 import numpy as np
 
 from repro.agents.base import BaseAgent
+from repro.agents.registry import register_agent
 from repro.env.hvac_env import HVACEnvironment
 from repro.utils.config import ComfortConfig
+from repro.utils.rng import RNGLike
 
 
+@register_agent("rule_based", aliases=("default", "schedule"))
 class RuleBasedAgent(BaseAgent):
-    """Schedule-based setpoint controller."""
+    """Schedule-based setpoint controller (the building's default baseline)."""
 
     name = "default"
 
@@ -32,6 +35,22 @@ class RuleBasedAgent(BaseAgent):
         self.comfort = comfort or ComfortConfig.winter()
         self.preheat_hours = float(preheat_hours)
         self.setback_margin = float(setback_margin)
+
+    @classmethod
+    def from_config(
+        cls,
+        environment: Optional[HVACEnvironment] = None,
+        seed: RNGLike = None,
+        season: Optional[str] = None,
+        **kwargs,
+    ) -> "RuleBasedAgent":
+        """Config hook: default the comfort band to the environment's reward config."""
+        if "comfort" not in kwargs:
+            if season is not None:
+                kwargs["comfort"] = ComfortConfig.for_season(season)
+            elif environment is not None:
+                kwargs["comfort"] = environment.config.reward.comfort
+        return cls(**kwargs)
 
     def select_action(
         self, observation: np.ndarray, environment: HVACEnvironment, step: int

@@ -1,0 +1,400 @@
+"""The end-to-end extract-verify-deploy pipeline (Fig. 2 of the paper).
+
+:class:`VerifiedPolicyPipeline` chains every box of the paper's pipeline into
+one call::
+
+    historical data ──> dynamics model ──> RS optimiser
+                                   │             │
+                                   └── decision dataset (Monte-Carlo distillation)
+                                                 │
+                                            CART tree
+                                                 │
+                            formal + probabilistic verification (and correction)
+                                                 │
+                                           deployable policy
+
+Every stage can be overridden by passing a pre-built artefact to
+:meth:`VerifiedPolicyPipeline.run` (an existing environment, historical
+dataset or fitted dynamics model), which is how the experiments reuse
+expensive intermediates across ablations.  All stochasticity flows from
+``PipelineConfig.seed`` through per-stage child generators, so a pipeline run
+is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.criteria import SafetySpec, VerificationCriteria
+from repro.core.decision_dataset import DecisionDataset, DecisionDatasetGenerator
+from repro.core.extraction import ExtractionSettings, PolicyExtractor
+from repro.core.sampling import AugmentedHistoricalSampler
+from repro.core.tree_policy import TreePolicy
+from repro.core.verification import VerificationSummary, verify_policy
+from repro.env.dataset import TransitionDataset, collect_historical_data
+from repro.env.hvac_env import HVACEnvironment, make_environment
+from repro.nn.dynamics import ThermalDynamicsModel
+from repro.utils.config import (
+    ComfortConfig,
+    ExperimentConfig,
+    RewardConfig,
+    SimulationConfig,
+    get_season,
+)
+from repro.utils.rng import spawn_rngs
+from repro.utils.serialization import save_json, to_jsonable
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything one extract-verify-deploy run needs (Section 4.1 defaults).
+
+    The defaults mirror the paper's experimental platform; use
+    :meth:`PipelineConfig.tiny` for smoke tests and CI, where a full-size run
+    would be needlessly slow.
+    """
+
+    # ------------------------------------------------- environment / history
+    city: str = "pittsburgh"
+    season: str = "winter"
+    seed: int = 0
+    historical_days: int = 14
+    peak_occupants: int = 24
+    exploration_probability: float = 0.3
+    # ------------------------------------------------------- dynamics model
+    hidden_sizes: Tuple[int, ...] = (64, 64)
+    training_epochs: int = 60
+    learning_rate: float = 1e-3
+    weight_decay: float = 1e-5
+    batch_size: int = 64
+    test_fraction: float = 0.2
+    # -------------------------------------------------------- sampler (Eq. 5)
+    noise_level: float = 0.05
+    # ------------------------------------------------------------- optimiser
+    optimizer_samples: int = 1000
+    planning_horizon: int = 20
+    discount: float = 0.99
+    # ------------------------------------------------------ decision dataset
+    num_decision_data: int = 500
+    monte_carlo_runs: int = 5
+    # ------------------------------------------------------------ extraction
+    criterion: str = "gini"
+    max_depth: Optional[int] = None
+    min_samples_split: int = 2
+    min_samples_leaf: int = 1
+    # ---------------------------------------------------------- verification
+    safe_probability_threshold: float = 0.9
+    num_probabilistic_samples: int = 2000
+    correct_failing_leaves: bool = True
+
+    def __post_init__(self) -> None:
+        get_season(self.season)  # raises ValueError on an unknown season
+        if self.historical_days <= 0:
+            raise ValueError("historical_days must be positive")
+        if self.num_decision_data <= 0:
+            raise ValueError("num_decision_data must be positive")
+
+    # ------------------------------------------------------------- derived
+    @property
+    def comfort(self) -> ComfortConfig:
+        return ComfortConfig.for_season(self.season)
+
+    def experiment_config(self) -> ExperimentConfig:
+        """The environment configuration implied by this pipeline config."""
+        season = get_season(self.season)
+        return ExperimentConfig(
+            city=self.city,
+            simulation=SimulationConfig(
+                days=self.historical_days,
+                start_month=season.start_month,
+                start_day_of_year=season.start_day_of_year,
+            ),
+            reward=RewardConfig(comfort=self.comfort),
+            seed=self.seed,
+        )
+
+    def criteria(self) -> VerificationCriteria:
+        """The Eq. 4 verification criteria implied by this config."""
+        return VerificationCriteria(
+            safety=SafetySpec(comfort=self.comfort),
+            safe_probability_threshold=self.safe_probability_threshold,
+            horizon=self.planning_horizon,
+        )
+
+    def extraction_settings(self) -> ExtractionSettings:
+        return ExtractionSettings(
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+        )
+
+    def with_overrides(self, **overrides) -> "PipelineConfig":
+        """A copy of this config with some fields replaced."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def tiny(cls, city: str = "pittsburgh", seed: int = 0, **overrides) -> "PipelineConfig":
+        """A miniature configuration that runs end-to-end in seconds.
+
+        Used by the test suite, the CI smoke job and the default on-the-fly
+        policy construction of the ``dt`` agent.
+        """
+        base = dict(
+            city=city,
+            seed=seed,
+            historical_days=2,
+            hidden_sizes=(16,),
+            training_epochs=15,
+            optimizer_samples=64,
+            planning_horizon=5,
+            num_decision_data=96,
+            monte_carlo_runs=3,
+            num_probabilistic_samples=256,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced, from raw data to the verified policy."""
+
+    config: PipelineConfig
+    policy: TreePolicy
+    verification: VerificationSummary
+    fidelity: float
+    decision_dataset: DecisionDataset
+    historical_data: TransitionDataset
+    dynamics_model: ThermalDynamicsModel
+    sampler: AugmentedHistoricalSampler
+    model_rmse: float
+    model_mae: float
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.stage_seconds.values()))
+
+    @property
+    def verified(self) -> bool:
+        """Whether the (corrected) policy passes all three Eq. 4 criteria."""
+        return bool(
+            self.verification.formal_report.satisfied
+            and self.verification.criterion_1_passed
+        )
+
+    def agent(self):
+        """The deployable controller wrapping the verified policy."""
+        from repro.agents.dt_agent import DecisionTreeAgent
+
+        return DecisionTreeAgent(self.policy)
+
+    def describe(self, max_depth: Optional[int] = None) -> str:
+        """Human-readable rendering of the extracted policy."""
+        return self.policy.describe(max_depth=max_depth)
+
+    def summary_dict(self) -> Dict:
+        """A compact JSON-ready summary (Table 2 fields plus diagnostics)."""
+        return to_jsonable(
+            {
+                "city": self.config.city,
+                "season": self.config.season,
+                "seed": self.config.seed,
+                "tree_nodes": self.policy.node_count,
+                "tree_leaves": self.policy.leaf_count,
+                "tree_depth": self.policy.depth,
+                "fidelity": self.fidelity,
+                "model_rmse": self.model_rmse,
+                "model_mae": self.model_mae,
+                "safe_probability": self.verification.safe_probability,
+                "criterion_1_passed": self.verification.criterion_1_passed,
+                "corrected_criterion_2": self.verification.corrected_criterion_2,
+                "corrected_criterion_3": self.verification.corrected_criterion_3,
+                "verified": self.verified,
+                "decision_data": len(self.decision_dataset),
+                "historical_transitions": len(self.historical_data),
+                "stage_seconds": self.stage_seconds,
+            }
+        )
+
+    def save_policy(self, path) -> None:
+        """Persist the verified policy (and its provenance summary) as JSON."""
+        save_json({"summary": self.summary_dict(), "policy": self.policy.to_dict()}, path)
+
+
+class VerifiedPolicyPipeline:
+    """The end-to-end extract-verify-deploy pipeline of Fig. 2.
+
+    Example
+    -------
+    >>> result = VerifiedPolicyPipeline(PipelineConfig.tiny()).run()
+    >>> agent = result.agent()          # deployable DecisionTreeAgent
+    >>> result.verification.safe_probability  # doctest: +SKIP
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None):
+        self.config = config or PipelineConfig()
+
+    # ------------------------------------------------------------------ stages
+    def build_environment(self) -> HVACEnvironment:
+        """Stage 0: the simulated building that stands in for the real plant."""
+        cfg = self.config
+        return make_environment(
+            city=cfg.city,
+            seed=cfg.seed,
+            config=cfg.experiment_config(),
+            peak_occupants=cfg.peak_occupants,
+        )
+
+    def collect_history(self, environment: HVACEnvironment, rng) -> TransitionDataset:
+        """Stage 1: historical transitions from the behaviour controller."""
+        from repro.agents.rule_based import RuleBasedAgent
+
+        behaviour = RuleBasedAgent(comfort=self.config.comfort)
+        return collect_historical_data(
+            environment,
+            behaviour,
+            exploration_probability=self.config.exploration_probability,
+            seed=rng,
+        )
+
+    def train_dynamics_model(
+        self, historical_data: TransitionDataset, rng
+    ) -> Tuple[ThermalDynamicsModel, float, float]:
+        """Stage 2: fit the MLP dynamics model, report held-out RMSE/MAE."""
+        cfg = self.config
+        train, test = historical_data.train_test_split(cfg.test_fraction, seed=rng)
+        model = ThermalDynamicsModel(hidden_sizes=cfg.hidden_sizes, seed=rng)
+        model.fit(
+            train,
+            epochs=cfg.training_epochs,
+            learning_rate=cfg.learning_rate,
+            weight_decay=cfg.weight_decay,
+            batch_size=cfg.batch_size,
+            seed=rng,
+        )
+        rmse, mae = model.evaluate(test)
+        return model, rmse, mae
+
+    def build_extractor(
+        self,
+        environment: HVACEnvironment,
+        historical_data: TransitionDataset,
+        dynamics_model: ThermalDynamicsModel,
+        rng,
+    ) -> Tuple[PolicyExtractor, AugmentedHistoricalSampler]:
+        """Stage 3: importance sampler + RS optimiser + distillation generator."""
+        from repro.agents.random_shooting import RandomShootingOptimizer
+
+        cfg = self.config
+        sampler = AugmentedHistoricalSampler.from_dataset(
+            historical_data, noise_level=cfg.noise_level
+        )
+        optimizer = RandomShootingOptimizer(
+            dynamics_model=dynamics_model,
+            action_space=environment.action_space,
+            reward_config=environment.config.reward,
+            action_config=environment.config.actions,
+            num_samples=cfg.optimizer_samples,
+            horizon=cfg.planning_horizon,
+            discount=cfg.discount,
+            seed=rng,
+        )
+        generator = DecisionDatasetGenerator(
+            optimizer=optimizer,
+            sampler=sampler,
+            action_pairs=environment.action_space.pairs,
+            monte_carlo_runs=cfg.monte_carlo_runs,
+            planning_horizon=cfg.planning_horizon,
+        )
+        extractor = PolicyExtractor(
+            generator,
+            settings=cfg.extraction_settings(),
+            city=cfg.city,
+        )
+        return extractor, sampler
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        environment: Optional[HVACEnvironment] = None,
+        historical_data: Optional[TransitionDataset] = None,
+        dynamics_model: Optional[ThermalDynamicsModel] = None,
+        decision_dataset: Optional[DecisionDataset] = None,
+    ) -> PipelineResult:
+        """Run extract → verify → deploy and return the verified policy.
+
+        Any pre-built intermediate can be supplied to skip its stage — e.g.
+        pass a fitted ``dynamics_model`` to rerun only extraction and
+        verification under a new seed or noise level.
+        """
+        cfg = self.config
+        # One child generator per stochastic stage, all derived from cfg.seed.
+        (
+            history_rng,
+            model_rng,
+            optimizer_rng,
+            distill_rng,
+            verify_rng,
+        ) = spawn_rngs(cfg.seed, 5)
+        stage_seconds: Dict[str, float] = {}
+
+        start = time.perf_counter()
+        if environment is None:
+            environment = self.build_environment()
+        stage_seconds["environment"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if historical_data is None:
+            historical_data = self.collect_history(environment, history_rng)
+        if len(historical_data) == 0:
+            raise ValueError("The pipeline needs a non-empty historical dataset")
+        stage_seconds["historical_data"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if dynamics_model is None:
+            dynamics_model, rmse, mae = self.train_dynamics_model(historical_data, model_rng)
+        else:
+            rmse, mae = dynamics_model.evaluate(historical_data)
+        stage_seconds["dynamics_model"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        extractor, sampler = self.build_extractor(
+            environment, historical_data, dynamics_model, optimizer_rng
+        )
+        policy = extractor.extract(
+            cfg.num_decision_data, seed=distill_rng, decision_dataset=decision_dataset
+        )
+        fidelity = extractor.fidelity(policy)
+        stage_seconds["extraction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        verification = verify_policy(
+            policy,
+            dynamics_model,
+            sampler,
+            cfg.criteria(),
+            num_probabilistic_samples=cfg.num_probabilistic_samples,
+            correct=cfg.correct_failing_leaves,
+            seed=verify_rng,
+        )
+        stage_seconds["verification"] = time.perf_counter() - start
+
+        return PipelineResult(
+            config=cfg,
+            policy=policy,
+            verification=verification,
+            fidelity=fidelity,
+            decision_dataset=extractor.last_decision_dataset,
+            historical_data=historical_data,
+            dynamics_model=dynamics_model,
+            sampler=sampler,
+            model_rmse=rmse,
+            model_mae=mae,
+            stage_seconds=stage_seconds,
+        )

@@ -233,19 +233,39 @@ class HVACEnvironment:
 
 
 def make_environment(
-    city: str = "pittsburgh",
-    seed: int = 0,
+    city: Optional[str] = None,
+    seed: Optional[int] = None,
     days: Optional[int] = None,
     config: Optional[ExperimentConfig] = None,
     peak_occupants: int = 24,
+    season: str = "winter",
 ) -> HVACEnvironment:
     """Build the standard experiment environment for a named city.
 
-    Uses the five-zone reference building, a synthetic January weather trace
-    for the city and the office occupancy schedule.
+    Uses the five-zone reference building, a synthetic weather trace for the
+    city (January statistics for ``season="winter"``, July for ``"summer"``)
+    and the office occupancy schedule.  When an explicit ``config`` is
+    supplied it provides the defaults for ``city`` and ``seed`` and the
+    ``season`` argument is ignored.
     """
+    from repro.utils.config import RewardConfig, get_season
+
+    if config is not None:
+        city = config.city if city is None else city
+        seed = config.seed if seed is None else seed
+    city = "pittsburgh" if city is None else city
+    seed = 0 if seed is None else seed
     if config is None:
-        config = ExperimentConfig(city=city, seed=seed)
+        season_spec = get_season(season)
+        config = ExperimentConfig(
+            city=city,
+            simulation=SimulationConfig(
+                start_month=season_spec.start_month,
+                start_day_of_year=season_spec.start_day_of_year,
+            ),
+            reward=RewardConfig(comfort=season_spec.comfort),
+            seed=seed,
+        )
     simulation = config.simulation
     if days is not None:
         simulation = SimulationConfig(

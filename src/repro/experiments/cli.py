@@ -1,0 +1,265 @@
+"""Command-line front door: ``python -m repro`` (or the ``repro`` script).
+
+Subcommands::
+
+    repro run       evaluate a registered agent on a scenario
+    repro extract   run the extract-verify-deploy pipeline, print Table-2 stats
+    repro agents    list registered agents and aliases
+    repro scenarios list the scenario grid (climate × season × building)
+    repro climates  list climate profiles and descriptor aliases
+    repro bench     time a rollout and write a steps/sec baseline JSON
+
+Examples::
+
+    python -m repro run --agent rule_based --climate pittsburgh --steps 96
+    python -m repro run --agent dt --climate hot_humid --season summer
+    python -m repro extract --climate tucson --preset tiny --save policy.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.utils.serialization import save_json, to_jsonable
+from repro.utils.tables import format_table
+
+
+class CLIError(Exception):
+    """A user-input problem (bad name, invalid value) — reported without a traceback."""
+
+
+def _resolve(build, *args, **kwargs):
+    """Run a lookup/validation step, converting its errors to CLIError."""
+    try:
+        return build(*args, **kwargs)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise CLIError(message) from exc
+
+
+def _parse_agent_args(pairs: List[str]) -> Dict:
+    """Parse repeated ``--agent-arg key=value`` options (values via JSON when possible)."""
+    config: Dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--agent-arg expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            config[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            config[key] = raw
+    return config
+
+
+# ------------------------------------------------------------------ commands
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ExperimentResult, ExperimentRunner
+    from repro.experiments.scenarios import ScenarioSpec
+
+    from repro.agents.registry import canonical_name
+
+    scenario = _resolve(
+        ScenarioSpec.from_name,
+        "/".join(p for p in (args.climate, args.season, args.building) if p),
+        days=args.days,
+    )
+    agent = _resolve(canonical_name, args.agent)
+    runner = _resolve(
+        ExperimentRunner,
+        scenario,
+        episodes=args.episodes,
+        base_seed=args.seed,
+        max_steps=args.steps,
+    )
+    result = runner.run(agent, agent_config=_parse_agent_args(args.agent_arg))
+    print(format_table(ExperimentResult.SUMMARY_HEADER, [result.summary_row()]))
+    if args.output:
+        save_json(result.to_dict(), args.output)
+        print(f"Wrote {args.output}")
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+    from repro.weather.climates import get_climate
+
+    city = _resolve(get_climate, args.climate).name
+    overrides: Dict = {"city": city, "seed": args.seed, "season": args.season}
+    if args.decision_data is not None:
+        overrides["num_decision_data"] = args.decision_data
+    if args.preset == "tiny":
+        config = _resolve(PipelineConfig.tiny, **overrides)
+    else:
+        config = _resolve(PipelineConfig, **overrides)
+    result = VerifiedPolicyPipeline(config).run()
+
+    summary = result.summary_dict()
+    rows = [[key, summary[key]] for key in sorted(summary) if key != "stage_seconds"]
+    print(format_table(["metric", "value"], rows))
+    if args.print_tree:
+        print(result.describe(max_depth=args.max_print_depth))
+    if args.save:
+        result.save_policy(args.save)
+        print(f"Wrote {args.save}")
+    return 0
+
+
+def cmd_agents(_args: argparse.Namespace) -> int:
+    from repro.agents.registry import agent_aliases, agent_summaries
+
+    aliases_by_name: Dict[str, List[str]] = {}
+    for alias, target in agent_aliases().items():
+        aliases_by_name.setdefault(target, []).append(alias)
+    rows = [
+        [name, ", ".join(sorted(aliases_by_name.get(name, []))) or "-", summary]
+        for name, summary in agent_summaries().items()
+    ]
+    print(format_table(["agent", "aliases", "description"], rows))
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import scenario_grid
+
+    grid = _resolve(
+        scenario_grid,
+        cities=[args.climate] if args.climate else None,
+        seasons=[args.season] if args.season else None,
+    )
+    rows = [[s.name, s.city, s.season, s.building, s.days] for s in grid]
+    print(format_table(["scenario", "city", "season", "building", "days"], rows))
+    return 0
+
+
+def cmd_climates(_args: argparse.Namespace) -> int:
+    from repro.weather.climates import available_climate_aliases, available_climates, get_climate
+
+    rows = []
+    for name in available_climates():
+        profile = get_climate(name)
+        rows.append(
+            [
+                name,
+                profile.ashrae_zone,
+                profile.january_mean_c,
+                profile.monthly_mean_c(7),
+            ]
+        )
+    print(format_table(["city", "ASHRAE", "Jan mean °C", "Jul mean °C"], rows))
+    alias_rows = [[alias, city] for alias, city in sorted(available_climate_aliases().items())]
+    print(format_table(["alias", "city"], alias_rows))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.scenarios import ScenarioSpec
+
+    from repro.agents.registry import canonical_name
+
+    scenario = _resolve(
+        ScenarioSpec.from_name,
+        "/".join(p for p in (args.climate, args.season) if p),
+        days=args.days,
+    )
+    agent = _resolve(canonical_name, args.agent)
+    runner = _resolve(ExperimentRunner, scenario, episodes=args.episodes, base_seed=args.seed)
+    result = runner.run(agent)
+    payload = to_jsonable(
+        {
+            "benchmark": "rollout",
+            "scenario": scenario.name,
+            "agent": result.agent,
+            "days": args.days,
+            "episodes": args.episodes,
+            "steps_per_episode": result.total_steps // max(result.num_episodes, 1),
+            "mean_steps_per_second": result.mean_steps_per_second,
+            "per_episode_steps_per_second": [e.steps_per_second for e in result.episodes],
+        }
+    )
+    print(json.dumps(payload, indent=2))
+    if args.output:
+        save_json(payload, args.output)
+        print(f"Wrote {args.output}")
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Verified decision-tree HVAC policies: unified experiment CLI.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate a registered agent on a scenario")
+    run.add_argument("--agent", default="rule_based", help="registered agent name or alias")
+    run.add_argument("--climate", default="pittsburgh", help="city name or climate alias")
+    run.add_argument("--season", default="winter", choices=["winter", "summer"])
+    run.add_argument("--building", default="office", help="building variant")
+    run.add_argument("--days", type=int, default=7, help="episode length in days")
+    run.add_argument("--steps", type=int, default=None, help="cap on steps per episode")
+    run.add_argument("--episodes", type=int, default=1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--agent-arg",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra agent constructor option (repeatable; values parsed as JSON)",
+    )
+    run.add_argument("--output", default=None, help="write the full result JSON here")
+    run.set_defaults(func=cmd_run)
+
+    extract = sub.add_parser("extract", help="run the extract-verify-deploy pipeline")
+    extract.add_argument("--climate", default="pittsburgh")
+    extract.add_argument("--season", default="winter", choices=["winter", "summer"])
+    extract.add_argument("--seed", type=int, default=0)
+    extract.add_argument("--preset", default="paper", choices=["paper", "tiny"])
+    extract.add_argument("--decision-data", type=int, default=None)
+    extract.add_argument("--print-tree", action="store_true")
+    extract.add_argument("--max-print-depth", type=int, default=4)
+    extract.add_argument("--save", default=None, help="write the verified policy JSON here")
+    extract.set_defaults(func=cmd_extract)
+
+    agents = sub.add_parser("agents", help="list registered agents")
+    agents.set_defaults(func=cmd_agents)
+
+    scenarios = sub.add_parser("scenarios", help="list the scenario grid")
+    scenarios.add_argument("--climate", default=None)
+    scenarios.add_argument("--season", default=None, choices=["winter", "summer"])
+    scenarios.set_defaults(func=cmd_scenarios)
+
+    climates = sub.add_parser("climates", help="list climate profiles and aliases")
+    climates.set_defaults(func=cmd_climates)
+
+    bench = sub.add_parser("bench", help="time a rollout, write a steps/sec baseline")
+    bench.add_argument("--agent", default="rule_based")
+    bench.add_argument("--climate", default="pittsburgh")
+    bench.add_argument("--season", default="winter", choices=["winter", "summer"])
+    bench.add_argument("--days", type=int, default=1)
+    bench.add_argument("--episodes", type=int, default=3)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--output", default=None)
+    bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        # User-input problems (bad agent/climate/scenario names, invalid
+        # values) carry a helpful listing; show it without the traceback.
+        # Genuine internal failures still propagate with a full traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

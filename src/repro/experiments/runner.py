@@ -1,0 +1,321 @@
+"""The registry-driven experiment runner.
+
+:class:`ExperimentRunner` is the single front door for "evaluate controller X
+in scenario Y": it materialises environments from declarative
+:class:`~repro.experiments.scenarios.ScenarioSpec` cells, builds any
+registered agent by name (or accepts a pre-built agent), rolls out
+multi-episode batches under per-episode seeds and aggregates reward, comfort
+and energy into structured results.  Everything downstream — the CLI, result
+tables, future batching/sharding layers — consumes the
+:class:`ExperimentResult` it returns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.agents.base import BaseAgent
+from repro.agents.registry import canonical_name, make_agent
+from repro.env.hvac_env import HVACEnvironment
+from repro.experiments.scenarios import ScenarioSpec, get_scenario
+from repro.utils.serialization import to_jsonable
+
+
+@dataclass
+class EpisodeResult:
+    """Aggregated metrics of one rollout."""
+
+    scenario: str
+    agent: str
+    episode: int
+    seed: int
+    steps: int
+    total_reward: float
+    total_energy_kwh: float
+    occupied_steps: int
+    comfort_violation_steps: int
+    total_comfort_violation_degree_steps: float
+    mean_zone_temperature: float
+    wall_seconds: float
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / self.steps if self.steps else 0.0
+
+    @property
+    def comfort_violation_rate(self) -> float:
+        """Fraction of occupied steps outside the comfort range."""
+        if self.occupied_steps == 0:
+            return 0.0
+        return self.comfort_violation_steps / self.occupied_steps
+
+    @property
+    def steps_per_second(self) -> float:
+        return self.steps / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    def to_dict(self) -> Dict:
+        data = {
+            name: getattr(self, name)
+            for name in (
+                "scenario",
+                "agent",
+                "episode",
+                "seed",
+                "steps",
+                "total_reward",
+                "mean_reward",
+                "total_energy_kwh",
+                "occupied_steps",
+                "comfort_violation_steps",
+                "comfort_violation_rate",
+                "total_comfort_violation_degree_steps",
+                "mean_zone_temperature",
+                "wall_seconds",
+                "steps_per_second",
+            )
+        }
+        return to_jsonable(data)
+
+
+@dataclass
+class ExperimentResult:
+    """All episodes of one (scenario, agent) experiment plus aggregates."""
+
+    scenario: str
+    agent: str
+    episodes: List[EpisodeResult] = field(default_factory=list)
+
+    @property
+    def num_episodes(self) -> int:
+        return len(self.episodes)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(e.steps for e in self.episodes)
+
+    def _mean(self, values: List[float]) -> float:
+        return float(np.mean(values)) if values else 0.0
+
+    def _std(self, values: List[float]) -> float:
+        return float(np.std(values)) if values else 0.0
+
+    @property
+    def mean_total_reward(self) -> float:
+        return self._mean([e.total_reward for e in self.episodes])
+
+    @property
+    def std_total_reward(self) -> float:
+        return self._std([e.total_reward for e in self.episodes])
+
+    @property
+    def mean_energy_kwh(self) -> float:
+        return self._mean([e.total_energy_kwh for e in self.episodes])
+
+    @property
+    def mean_comfort_violation_rate(self) -> float:
+        return self._mean([e.comfort_violation_rate for e in self.episodes])
+
+    @property
+    def mean_steps_per_second(self) -> float:
+        return self._mean([e.steps_per_second for e in self.episodes])
+
+    def to_dict(self) -> Dict:
+        return to_jsonable(
+            {
+                "scenario": self.scenario,
+                "agent": self.agent,
+                "num_episodes": self.num_episodes,
+                "total_steps": self.total_steps,
+                "mean_total_reward": self.mean_total_reward,
+                "std_total_reward": self.std_total_reward,
+                "mean_energy_kwh": self.mean_energy_kwh,
+                "mean_comfort_violation_rate": self.mean_comfort_violation_rate,
+                "mean_steps_per_second": self.mean_steps_per_second,
+                "episodes": [e.to_dict() for e in self.episodes],
+            }
+        )
+
+    def summary_row(self) -> List:
+        """One row of the Table-3-style comparison table."""
+        return [
+            self.scenario,
+            self.agent,
+            self.num_episodes,
+            self.mean_total_reward,
+            self.std_total_reward,
+            self.mean_energy_kwh,
+            self.mean_comfort_violation_rate,
+            self.mean_steps_per_second,
+        ]
+
+    #: Header matching :meth:`summary_row`.
+    SUMMARY_HEADER = [
+        "scenario",
+        "agent",
+        "episodes",
+        "reward (mean)",
+        "reward (std)",
+        "energy kWh",
+        "comfort viol.",
+        "steps/s",
+    ]
+
+
+def run_episode(
+    agent: BaseAgent,
+    environment: HVACEnvironment,
+    max_steps: Optional[int] = None,
+    scenario_name: str = "-",
+    agent_name: Optional[str] = None,
+    episode_index: int = 0,
+    seed: int = 0,
+) -> EpisodeResult:
+    """Roll one agent through one environment episode and aggregate metrics."""
+    agent.reset()
+    observation, _info = environment.reset()
+    total = environment.num_steps if max_steps is None else min(max_steps, environment.num_steps)
+
+    total_reward = 0.0
+    total_energy = 0.0
+    occupied_steps = 0
+    violation_steps = 0
+    violation_degrees = 0.0
+    zone_temperatures = 0.0
+    steps_done = 0
+
+    start = time.perf_counter()
+    for step in range(total):
+        action = agent.select_action(observation, environment, step)
+        result = environment.step(action)
+        info = result.info
+        total_reward += result.reward
+        total_energy += info["hvac_electric_energy_kwh"]
+        zone_temperatures += info["zone_temperature"]
+        if info["occupied"]:
+            occupied_steps += 1
+            if info["comfort_violated"]:
+                violation_steps += 1
+            violation_degrees += info["comfort_violation"]
+        observation = result.observation
+        steps_done += 1
+        if result.truncated or result.terminated:
+            break
+    wall = time.perf_counter() - start
+
+    return EpisodeResult(
+        scenario=scenario_name,
+        agent=agent_name or agent.name,
+        episode=episode_index,
+        seed=seed,
+        steps=steps_done,
+        total_reward=total_reward,
+        total_energy_kwh=total_energy,
+        occupied_steps=occupied_steps,
+        comfort_violation_steps=violation_steps,
+        total_comfort_violation_degree_steps=violation_degrees,
+        mean_zone_temperature=zone_temperatures / steps_done if steps_done else 0.0,
+        wall_seconds=wall,
+    )
+
+
+class ExperimentRunner:
+    """Builds environments from scenario specs and evaluates agents on them.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`ScenarioSpec` or a scenario name (``"tucson/summer"``).
+    episodes:
+        Number of independent episodes per :meth:`run` call.
+    base_seed:
+        Root seed; per-episode seeds are derived deterministically from it, so
+        two runners with the same base seed produce identical results.
+    max_steps:
+        Optional cap on steps per episode (useful for smoke tests).
+    """
+
+    def __init__(
+        self,
+        scenario: Union[str, ScenarioSpec],
+        episodes: int = 1,
+        base_seed: int = 0,
+        max_steps: Optional[int] = None,
+    ):
+        if episodes <= 0:
+            raise ValueError("episodes must be positive")
+        if max_steps is not None and max_steps <= 0:
+            raise ValueError("max_steps must be positive when given")
+        self.scenario = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        self.episodes = episodes
+        self.base_seed = int(base_seed)
+        self.max_steps = max_steps
+
+    def episode_seeds(self) -> List[int]:
+        """Deterministic, well-separated per-episode seeds."""
+        sequence = np.random.SeedSequence(self.base_seed)
+        return [int(s) for s in sequence.generate_state(self.episodes)]
+
+    def build_environment(self, seed: int) -> HVACEnvironment:
+        return self.scenario.build_environment(seed=seed)
+
+    def _resolve_agent(
+        self,
+        agent: Union[str, BaseAgent],
+        environment: HVACEnvironment,
+        seed: int,
+        agent_config: Optional[Dict],
+    ) -> Tuple[BaseAgent, str]:
+        if isinstance(agent, str):
+            name = canonical_name(agent)
+            built = make_agent(name, environment=environment, seed=seed, **(agent_config or {}))
+            return built, name
+        if agent_config:
+            raise ValueError("agent_config is only valid when the agent is given by name")
+        return agent, agent.name
+
+    def run(
+        self,
+        agent: Union[str, BaseAgent],
+        agent_config: Optional[Dict] = None,
+    ) -> ExperimentResult:
+        """Evaluate one agent over the configured episode batch.
+
+        When ``agent`` is a registry name, a fresh agent is constructed per
+        episode with that episode's seed — which makes stochastic controllers
+        (and on-the-fly model training) fully reproducible.  A pre-built
+        agent instance is reused across episodes (its ``reset()`` is called
+        between episodes).
+        """
+        episodes: List[EpisodeResult] = []
+        result_agent_name = None
+        for index, seed in enumerate(self.episode_seeds()):
+            environment = self.build_environment(seed)
+            episode_agent, name = self._resolve_agent(agent, environment, seed, agent_config)
+            result_agent_name = result_agent_name or name
+            episodes.append(
+                run_episode(
+                    episode_agent,
+                    environment,
+                    max_steps=self.max_steps,
+                    scenario_name=self.scenario.name,
+                    agent_name=name,
+                    episode_index=index,
+                    seed=seed,
+                )
+            )
+        return ExperimentResult(
+            scenario=self.scenario.name,
+            agent=result_agent_name,
+            episodes=episodes,
+        )
+
+    def run_many(
+        self,
+        agents: List[Union[str, BaseAgent]],
+    ) -> List[ExperimentResult]:
+        """Evaluate several agents on the same scenario/episode batch."""
+        return [self.run(agent) for agent in agents]

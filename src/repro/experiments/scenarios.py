@@ -1,0 +1,186 @@
+"""Declarative experiment scenarios: climate × building × season.
+
+A :class:`ScenarioSpec` is an immutable description of one evaluation setting
+— which city's weather, which building variant, which season (and hence
+comfort range and simulation window).  Specs are cheap to enumerate, hashable
+and name-addressable (``"tucson/summer/office"``), which is what lets the
+:class:`~repro.experiments.runner.ExperimentRunner`, the CLI and any future
+sharding/batching layer treat "a scenario" as data instead of hand-wired
+setup code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.buildings.building import Building, make_five_zone_building
+from repro.buildings.occupancy import office_schedule
+from repro.env.hvac_env import HVACEnvironment
+from repro.utils.config import (
+    SEASONS,
+    ExperimentConfig,
+    RewardConfig,
+    SeasonConfig,
+    SimulationConfig,
+)
+from repro.weather.climates import available_climates, get_climate
+from repro.weather.tmy import generate_weather
+
+#: Season definitions live in :mod:`repro.utils.config`; re-exported here
+#: because the scenario grid is where most callers meet them.
+SeasonSpec = SeasonConfig
+
+
+@dataclass(frozen=True)
+class BuildingSpec:
+    """A named variant of the five-zone reference building."""
+
+    name: str
+    peak_occupants: int = 24
+    initial_zone_temperature: float = 20.0
+
+    def build(self) -> Building:
+        return make_five_zone_building()
+
+
+BUILDINGS: Dict[str, BuildingSpec] = {
+    "office": BuildingSpec("office", peak_occupants=24),
+    "dense_office": BuildingSpec("dense_office", peak_occupants=48),
+    "light_office": BuildingSpec("light_office", peak_occupants=12),
+}
+
+#: Separator used in scenario names ("tucson/summer/office").
+NAME_SEPARATOR = "/"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of the climate × season × building grid."""
+
+    city: str
+    season: str = "winter"
+    building: str = "office"
+    days: int = 7
+    minutes_per_step: int = 15
+
+    def __post_init__(self) -> None:
+        get_climate(self.city)  # validates the city early
+        if self.season not in SEASONS:
+            raise ValueError(
+                f"Unknown season {self.season!r}. Available: {', '.join(sorted(SEASONS))}"
+            )
+        if self.building not in BUILDINGS:
+            raise ValueError(
+                f"Unknown building {self.building!r}. Available: {', '.join(sorted(BUILDINGS))}"
+            )
+        if self.days <= 0:
+            raise ValueError("days must be positive")
+
+    # ------------------------------------------------------------------ names
+    @property
+    def name(self) -> str:
+        return NAME_SEPARATOR.join((self.city, self.season, self.building))
+
+    @classmethod
+    def from_name(cls, name: str, days: int = 7, minutes_per_step: int = 15) -> "ScenarioSpec":
+        """Parse ``"city[/season[/building]]"`` into a spec."""
+        parts = [p for p in name.strip().split(NAME_SEPARATOR) if p]
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(
+                f"Scenario name {name!r} must look like 'city', 'city/season' "
+                "or 'city/season/building'"
+            )
+        city = get_climate(parts[0]).name  # resolves aliases like hot_humid
+        season = parts[1] if len(parts) > 1 else "winter"
+        building = parts[2] if len(parts) > 2 else "office"
+        return cls(
+            city=city,
+            season=season,
+            building=building,
+            days=days,
+            minutes_per_step=minutes_per_step,
+        )
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------- components
+    @property
+    def season_spec(self) -> SeasonSpec:
+        return SEASONS[self.season]
+
+    @property
+    def building_spec(self) -> BuildingSpec:
+        return BUILDINGS[self.building]
+
+    def simulation_config(self) -> SimulationConfig:
+        season = self.season_spec
+        return SimulationConfig(
+            days=self.days,
+            minutes_per_step=self.minutes_per_step,
+            start_month=season.start_month,
+            start_day_of_year=season.start_day_of_year,
+        )
+
+    def experiment_config(self, seed: int = 0) -> ExperimentConfig:
+        return ExperimentConfig(
+            city=get_climate(self.city).name,
+            simulation=self.simulation_config(),
+            reward=RewardConfig(comfort=self.season_spec.comfort),
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------ environment
+    def build_environment(self, seed: int = 0) -> HVACEnvironment:
+        """Materialise the scenario into a ready-to-run environment."""
+        config = self.experiment_config(seed=seed)
+        simulation = config.simulation
+        weather = generate_weather(
+            self.city, seed=seed, days=self.days, simulation=simulation
+        )
+        occupancy = office_schedule(self.building_spec.peak_occupants).generate_series(
+            simulation, seed=None if seed is None else seed + 1
+        )
+        return HVACEnvironment(
+            building=self.building_spec.build(),
+            weather=weather,
+            occupancy=occupancy,
+            config=config,
+            initial_zone_temperature=self.building_spec.initial_zone_temperature,
+        )
+
+
+def scenario_grid(
+    cities: Optional[Sequence[str]] = None,
+    seasons: Optional[Sequence[str]] = None,
+    buildings: Optional[Sequence[str]] = None,
+    days: int = 7,
+    minutes_per_step: int = 15,
+) -> List[ScenarioSpec]:
+    """The full (or filtered) climate × season × building grid."""
+    cities = list(cities) if cities is not None else available_climates()
+    seasons = list(seasons) if seasons is not None else sorted(SEASONS)
+    buildings = list(buildings) if buildings is not None else sorted(BUILDINGS)
+    return [
+        ScenarioSpec(
+            city=get_climate(city).name,
+            season=season,
+            building=building,
+            days=days,
+            minutes_per_step=minutes_per_step,
+        )
+        for city in cities
+        for season in seasons
+        for building in buildings
+    ]
+
+
+def get_scenario(name: str, days: int = 7, minutes_per_step: int = 15) -> ScenarioSpec:
+    """Look up or parse a scenario by name."""
+    return ScenarioSpec.from_name(name, days=days, minutes_per_step=minutes_per_step)
+
+
+def available_scenarios() -> List[str]:
+    """Names of every cell in the default grid."""
+    return [spec.name for spec in scenario_grid()]

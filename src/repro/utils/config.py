@@ -60,6 +60,41 @@ class ComfortConfig:
     def summer() -> "ComfortConfig":
         return ComfortConfig(23.0, 26.0)
 
+    @staticmethod
+    def for_season(season: str) -> "ComfortConfig":
+        """The paper's seasonal comfort range, looked up by name."""
+        return get_season(season).comfort
+
+
+@dataclass(frozen=True)
+class SeasonConfig:
+    """Simulation window and comfort band for one season.
+
+    The single source of the winter/summer constants used by
+    :mod:`repro.core.pipeline`, :mod:`repro.experiments.scenarios` and
+    :func:`repro.env.hvac_env.make_environment`.
+    """
+
+    name: str
+    start_month: int
+    start_day_of_year: int
+    comfort: ComfortConfig
+
+
+SEASONS: Dict[str, SeasonConfig] = {
+    "winter": SeasonConfig("winter", start_month=1, start_day_of_year=0, comfort=ComfortConfig(20.0, 23.5)),
+    "summer": SeasonConfig("summer", start_month=7, start_day_of_year=181, comfort=ComfortConfig(23.0, 26.0)),
+}
+
+
+def get_season(name: str) -> SeasonConfig:
+    """Look up a season by name."""
+    if name not in SEASONS:
+        raise ValueError(
+            f"Unknown season {name!r}. Available seasons: {', '.join(sorted(SEASONS))}"
+        )
+    return SEASONS[name]
+
 
 @dataclass(frozen=True)
 class ActionSpaceConfig:

@@ -12,7 +12,12 @@ paper: outdoor air drybulb temperature, outdoor relative humidity, site wind
 speed and site total radiation rate per area.
 """
 
-from repro.weather.climates import ClimateProfile, get_climate, available_climates
+from repro.weather.climates import (
+    ClimateProfile,
+    get_climate,
+    available_climates,
+    available_climate_aliases,
+)
 from repro.weather.solar import clear_sky_radiation, solar_elevation_angle
 from repro.weather.tmy import WeatherSeries, WeatherGenerator, generate_weather
 
@@ -20,6 +25,7 @@ __all__ = [
     "ClimateProfile",
     "get_climate",
     "available_climates",
+    "available_climate_aliases",
     "clear_sky_radiation",
     "solar_elevation_angle",
     "WeatherSeries",

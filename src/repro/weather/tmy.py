@@ -133,12 +133,15 @@ class WeatherGenerator:
         day_idx = np.arange(n) // steps_per_day
         anomaly = (1.0 - day_frac) * anomaly_days[day_idx] + day_frac * anomaly_days[day_idx + 1]
 
-        # Diurnal cycle: sinusoid peaking at PEAK_HOUR.
-        diurnal = climate.diurnal_amplitude_c * np.cos(
+        # Diurnal cycle: sinusoid peaking at PEAK_HOUR, with the mean and
+        # amplitude of the simulated month (January statistics for month 1,
+        # July for month 7, cosine annual interpolation in between).
+        month = sim.start_month
+        diurnal = climate.monthly_diurnal_amplitude_c(month) * np.cos(
             2.0 * np.pi * (hour_of_day - self.PEAK_HOUR) / 24.0
         )
         short_noise = self._smooth_noise(rng, n, std=0.5, window=4)
-        outdoor_temperature = climate.january_mean_c + diurnal + anomaly + short_noise
+        outdoor_temperature = climate.monthly_mean_c(month) + diurnal + anomaly + short_noise
 
         # Cloud cover episodes: AR(1) at the timestep level, clipped to [0, 1].
         cloud = np.empty(n)

@@ -1,0 +1,12 @@
+"""Make the src/ layout importable without installation.
+
+``pip install -e .`` makes this a no-op; running ``pytest`` from a fresh
+checkout works either way.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

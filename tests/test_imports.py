@@ -1,0 +1,55 @@
+"""Smoke test: every repro.* module must import.
+
+Guards against dangling ``__init__`` exports like the seed's missing
+``repro.core.pipeline`` (which made the whole ``repro.core`` package
+unimportable).
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_module_names():
+    names = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module.name)
+    return sorted(names)
+
+
+MODULES = _all_module_names()
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+def test_expected_packages_present():
+    packages = {name.split(".")[1] for name in MODULES if name.count(".") == 1}
+    assert {
+        "agents",
+        "analysis",
+        "buildings",
+        "core",
+        "dtree",
+        "env",
+        "experiments",
+        "nn",
+        "utils",
+        "weather",
+    } <= packages
+
+
+def test_core_public_api():
+    core = importlib.import_module("repro.core")
+    for name in core.__all__:
+        assert hasattr(core, name), f"repro.core.__all__ exports missing name {name}"
+
+
+def test_lazy_top_level_exports():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None

@@ -1,0 +1,75 @@
+"""Agent registry: lookup, aliases, config-driven construction."""
+
+import pytest
+
+from repro.agents import (
+    BaseAgent,
+    ConstantAgent,
+    RandomAgent,
+    RuleBasedAgent,
+    available_agents,
+    agent_aliases,
+    canonical_name,
+    make_agent,
+    register_agent,
+)
+from repro.experiments.scenarios import ScenarioSpec
+from repro.utils.config import ComfortConfig
+
+ALL_AGENTS = {"clue", "constant", "dt", "mbrl", "mppi", "random", "rule_based"}
+
+
+def test_all_seven_controllers_registered():
+    assert ALL_AGENTS <= set(available_agents())
+
+
+def test_aliases_resolve():
+    assert canonical_name("default") == "rule_based"
+    assert canonical_name("rs") == "mbrl"
+    assert canonical_name("tree") == "dt"
+    assert canonical_name("Rule-Based") == "rule_based"
+
+
+def test_unknown_agent_raises_with_listing():
+    with pytest.raises(KeyError, match="rule_based"):
+        canonical_name("no_such_agent")
+
+
+def test_make_simple_agents():
+    assert isinstance(make_agent("rule_based"), RuleBasedAgent)
+    assert isinstance(make_agent("random", seed=3), RandomAgent)
+    constant = make_agent("constant", heating_setpoint=18, cooling_setpoint=26)
+    assert isinstance(constant, ConstantAgent)
+    assert constant.heating_setpoint == 18
+    assert constant.cooling_setpoint == 26
+
+
+def test_rule_based_inherits_environment_comfort():
+    env = ScenarioSpec(city="tucson", season="summer", days=1).build_environment(seed=0)
+    agent = make_agent("rule_based", environment=env)
+    assert agent.comfort == ComfortConfig.summer()
+
+
+def test_registered_via_decorator_and_rejects_duplicates():
+    @register_agent("_test_only", aliases=("_test_alias",))
+    class _TestAgent(BaseAgent):
+        name = "_test_only"
+
+        def select_action(self, observation, environment, step):
+            return 0
+
+    assert canonical_name("_test_alias") == "_test_only"
+    assert isinstance(make_agent("_test_only"), _TestAgent)
+    with pytest.raises(ValueError, match="already registered"):
+        register_agent("_test_only")(_TestAgent)
+
+
+def test_random_agent_seeded_construction_is_deterministic():
+    env = ScenarioSpec(city="pittsburgh", days=1).build_environment(seed=0)
+    a = make_agent("random", seed=11)
+    b = make_agent("random", seed=11)
+    obs, _ = env.reset()
+    actions_a = [a.select_action(obs, env, 0) for _ in range(10)]
+    obs, _ = env.reset()
+    actions_b = [b.select_action(obs, env, 0) for _ in range(10)]
+    assert actions_a == actions_b

@@ -1,0 +1,71 @@
+"""ExperimentRunner: rollouts, aggregation, determinism."""
+
+import pytest
+
+from repro.agents import ConstantAgent, make_agent
+from repro.experiments.runner import ExperimentResult, ExperimentRunner, run_episode
+from repro.experiments.scenarios import ScenarioSpec
+
+
+def _strip_timing(result: ExperimentResult) -> dict:
+    data = result.to_dict()
+    data.pop("mean_steps_per_second")
+    for episode in data["episodes"]:
+        episode.pop("wall_seconds")
+        episode.pop("steps_per_second")
+    return data
+
+
+def test_runner_basic_rollout():
+    runner = ExperimentRunner("pittsburgh/winter", episodes=1, base_seed=0, max_steps=48)
+    result = runner.run("rule_based")
+    assert result.num_episodes == 1
+    assert result.total_steps == 48
+    episode = result.episodes[0]
+    assert episode.agent == "rule_based"
+    assert episode.scenario == "pittsburgh/winter/office"
+    assert episode.total_energy_kwh >= 0.0
+    assert 0.0 <= episode.comfort_violation_rate <= 1.0
+
+
+def test_runner_accepts_spec_and_agent_instance():
+    spec = ScenarioSpec(city="tucson", season="summer", days=1)
+    runner = ExperimentRunner(spec, episodes=2, base_seed=4, max_steps=24)
+    result = runner.run(ConstantAgent(20, 26))
+    assert result.num_episodes == 2
+    assert result.agent == "constant"
+    assert {e.seed for e in result.episodes} == set(runner.episode_seeds())
+
+
+def test_agent_config_only_with_names():
+    runner = ExperimentRunner("pittsburgh", episodes=1, max_steps=8)
+    with pytest.raises(ValueError, match="agent_config"):
+        runner.run(ConstantAgent(20, 26), agent_config={"heating_setpoint": 21})
+
+
+def test_same_seed_identical_experiment_result():
+    # The determinism contract: same scenario + base seed + agent name
+    # => byte-identical results (modulo wall-clock fields).
+    kwargs = dict(episodes=3, base_seed=123, max_steps=96)
+    first = ExperimentRunner("chicago/winter", **kwargs).run("random")
+    second = ExperimentRunner("chicago/winter", **kwargs).run("random")
+    assert _strip_timing(first) == _strip_timing(second)
+
+
+def test_different_seeds_differ():
+    first = ExperimentRunner("chicago/winter", episodes=1, base_seed=0, max_steps=96).run("random")
+    second = ExperimentRunner("chicago/winter", episodes=1, base_seed=1, max_steps=96).run("random")
+    assert _strip_timing(first) != _strip_timing(second)
+
+
+def test_run_episode_standalone():
+    env = ScenarioSpec(city="seattle", days=1).build_environment(seed=2)
+    agent = make_agent("rule_based", environment=env)
+    episode = run_episode(agent, env, max_steps=12, scenario_name="seattle/winter/office")
+    assert episode.steps == 12
+    assert episode.mean_zone_temperature > 0.0
+
+
+def test_summary_row_matches_header():
+    result = ExperimentRunner("pittsburgh", episodes=1, max_steps=8).run("constant")
+    assert len(result.summary_row()) == len(ExperimentResult.SUMMARY_HEADER)

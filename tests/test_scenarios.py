@@ -1,0 +1,67 @@
+"""Scenario grid construction and environment materialisation."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    BUILDINGS,
+    SEASONS,
+    ScenarioSpec,
+    available_scenarios,
+    get_scenario,
+    scenario_grid,
+)
+from repro.utils.config import ComfortConfig
+from repro.weather.climates import available_climates
+
+
+def test_default_grid_covers_all_axes():
+    grid = scenario_grid()
+    assert len(grid) == len(available_climates()) * len(SEASONS) * len(BUILDINGS)
+    names = [spec.name for spec in grid]
+    assert len(names) == len(set(names)), "scenario names must be unique"
+
+
+def test_grid_filtering():
+    grid = scenario_grid(cities=["tucson"], seasons=["summer"], buildings=["office"])
+    assert len(grid) == 1
+    assert grid[0].name == "tucson/summer/office"
+
+
+def test_name_round_trip():
+    for name in available_scenarios()[:6]:
+        assert get_scenario(name).name == name
+
+
+def test_from_name_resolves_climate_aliases():
+    spec = ScenarioSpec.from_name("hot_dry/summer")
+    assert spec.city == "tucson"
+    assert spec.season == "summer"
+    assert spec.building == "office"
+
+
+def test_invalid_axes_raise():
+    with pytest.raises(KeyError):
+        ScenarioSpec(city="atlantis")
+    with pytest.raises(ValueError):
+        ScenarioSpec(city="tucson", season="monsoon")
+    with pytest.raises(ValueError):
+        ScenarioSpec(city="tucson", building="castle")
+
+
+def test_build_environment_matches_spec():
+    spec = ScenarioSpec(city="tucson", season="summer", building="dense_office", days=2)
+    env = spec.build_environment(seed=5)
+    assert env.num_steps == 2 * 96
+    assert env.config.reward.comfort == ComfortConfig.summer()
+    assert env.config.simulation.start_month == 7
+    # Summer Tucson should be hot: mean outdoor temperature above 20 C.
+    assert env.weather.outdoor_temperature.mean() > 20.0
+
+
+def test_winter_summer_weather_differ():
+    winter = ScenarioSpec(city="chicago", season="winter", days=2).build_environment(seed=0)
+    summer = ScenarioSpec(city="chicago", season="summer", days=2).build_environment(seed=0)
+    assert (
+        summer.weather.outdoor_temperature.mean()
+        > winter.weather.outdoor_temperature.mean() + 10.0
+    )
