@@ -30,7 +30,11 @@ from repro.agents.registry import (
 )
 from repro.agents.base import BaseAgent, RandomAgent, ConstantAgent
 from repro.agents.rule_based import RuleBasedAgent
-from repro.agents.random_shooting import RandomShootingOptimizer, OptimizationResult
+from repro.agents.random_shooting import (
+    BatchPlanResult,
+    OptimizationResult,
+    RandomShootingOptimizer,
+)
 from repro.agents.mppi import MPPIOptimizer, MPPIAgent
 from repro.agents.mbrl import MBRLAgent, train_dynamics_from_environment
 from repro.agents.clue import CLUEAgent
@@ -49,6 +53,7 @@ __all__ = [
     "RuleBasedAgent",
     "RandomShootingOptimizer",
     "OptimizationResult",
+    "BatchPlanResult",
     "MPPIOptimizer",
     "MPPIAgent",
     "MBRLAgent",

@@ -116,6 +116,7 @@ class MPPIOptimizer:
             best_sequence=best_sequence,
             best_return=float(returns.max()),
             first_action_returns={best_index: float(returns.max())},
+            best_setpoints=tuple(int(v) for v in best_pair),
         )
 
     def _predict(

@@ -16,14 +16,14 @@ RS runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.env.reward import comfort_violation_amount, setpoint_energy_proxy
 from repro.env.spaces import SetpointSpace
 from repro.utils.config import ActionSpaceConfig, RewardConfig
-from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
 
 
 @dataclass
@@ -34,10 +34,33 @@ class OptimizationResult:
     best_sequence: np.ndarray
     best_return: float
     first_action_returns: Dict[int, float] = field(default_factory=dict)
+    best_setpoints: Optional[Tuple[int, int]] = None
 
-    @property
-    def best_setpoints(self) -> Optional[Tuple[int, int]]:
-        return None  # filled by callers that know the action space
+
+@dataclass
+class BatchPlanResult:
+    """Outcome of one :meth:`RandomShootingOptimizer.plan_batch` call.
+
+    Arrays are indexed by planning problem; ``result(i)`` materialises the
+    ``i``-th problem as an :class:`OptimizationResult` (without the per-action
+    return table, which the batched path does not build).
+    """
+
+    best_action_indices: np.ndarray
+    best_returns: np.ndarray
+    best_sequences: np.ndarray
+    best_setpoint_pairs: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.best_action_indices)
+
+    def result(self, index: int) -> OptimizationResult:
+        return OptimizationResult(
+            best_action_index=int(self.best_action_indices[index]),
+            best_sequence=self.best_sequences[index].copy(),
+            best_return=float(self.best_returns[index]),
+            best_setpoints=tuple(int(v) for v in self.best_setpoint_pairs[index]),
+        )
 
 
 class RandomShootingOptimizer:
@@ -73,16 +96,26 @@ class RandomShootingOptimizer:
 
     # ----------------------------------------------------------------- reward
     def _step_rewards(
-        self, next_states: np.ndarray, action_indices: np.ndarray, occupied: bool
+        self,
+        next_states: np.ndarray,
+        action_indices: np.ndarray,
+        occupied: Union[bool, np.ndarray],
     ) -> np.ndarray:
-        """Vectorised Eq. 2 over a batch of predicted next states and actions."""
+        """Vectorised Eq. 2 over a batch of predicted next states and actions.
+
+        ``occupied`` may be a scalar (one planning problem) or a per-row bool
+        array (mixed problems inside one :meth:`plan_batch` call).
+        """
         pairs = self._pairs[action_indices]
         off_heating, off_cooling = self.action_config.off_setpoints()
         energy = np.abs(pairs[:, 0] - off_heating) + np.abs(pairs[:, 1] - off_cooling)
         comfort = self.reward_config.comfort
         above = np.maximum(next_states - comfort.upper, 0.0)
         below = np.maximum(comfort.lower - next_states, 0.0)
-        w_e = self.reward_config.energy_weight(occupied)
+        if isinstance(occupied, np.ndarray):
+            w_e = self.reward_config.energy_weights(occupied)
+        else:
+            w_e = self.reward_config.energy_weight(occupied)
         return -w_e * energy - (1.0 - w_e) * (above + below)
 
     # ------------------------------------------------------------------- plan
@@ -123,8 +156,9 @@ class RandomShootingOptimizer:
         for t in range(horizon):
             action_indices = sequences[:, t]
             actions = self._pairs[action_indices]
-            disturbances = np.repeat(
-                disturbance_forecast[t].reshape(1, -1), self.num_samples, axis=0
+            # A read-only broadcast view: no (num_samples, 5) copy per step.
+            disturbances = np.broadcast_to(
+                disturbance_forecast[t], (self.num_samples, disturbance_forecast.shape[1])
             )
             next_states = self._predict(states, disturbances, actions)
             returns += (self.discount**t) * self._step_rewards(
@@ -137,11 +171,110 @@ class RandomShootingOptimizer:
         first_action_returns: Dict[int, float] = {}
         for action in np.unique(first_actions):
             first_action_returns[int(action)] = float(returns[first_actions == action].max())
+        best_index = int(sequences[best, 0])
         return OptimizationResult(
-            best_action_index=int(sequences[best, 0]),
+            best_action_index=best_index,
             best_sequence=sequences[best].copy(),
             best_return=float(returns[best]),
             first_action_returns=first_action_returns,
+            best_setpoints=tuple(int(v) for v in self._pairs[best_index]),
+        )
+
+    # -------------------------------------------------------------- plan_batch
+    def plan_batch(
+        self,
+        states: np.ndarray,
+        disturbance_forecasts: np.ndarray,
+        occupied_forecasts: np.ndarray,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+    ) -> BatchPlanResult:
+        """Solve ``N`` independent planning problems with flat array ops.
+
+        All ``N × num_samples`` candidate action sequences are rolled through
+        the dynamics model together: at each horizon step one
+        ``(N * num_samples,)`` model call replaces ``N`` separate
+        ``(num_samples,)`` calls.  Each problem draws its candidate sequences
+        from its own generator with exactly the calls :meth:`plan` would make,
+        so given the same generators the batched results are bit-identical to
+        ``N`` serial ``plan()`` calls (the per-row model arithmetic is
+        independent of the batch size).
+
+        Parameters
+        ----------
+        states:
+            ``(N,)`` current controlled-zone temperatures, one per problem.
+        disturbance_forecasts:
+            ``(N, H, 5)`` per-problem forecasts, or ``(H, 5)`` shared by all.
+        occupied_forecasts:
+            ``(N, H)`` (or ``(H,)`` shared) occupied flags.
+        rngs:
+            One generator per problem; spawned from the optimiser's own
+            generator when omitted.
+        """
+        states = np.atleast_1d(np.asarray(states, dtype=float))
+        n_problems = len(states)
+        forecasts = np.asarray(disturbance_forecasts, dtype=float)
+        if forecasts.ndim == 2:
+            forecasts = np.broadcast_to(forecasts, (n_problems,) + forecasts.shape)
+        if forecasts.ndim != 3 or forecasts.shape[0] != n_problems:
+            raise ValueError("disturbance_forecasts must have shape (N, H, 5) or (H, 5)")
+        occupied = np.asarray(occupied_forecasts, dtype=bool)
+        if occupied.ndim == 1:
+            occupied = np.broadcast_to(occupied, (n_problems, occupied.shape[0]))
+        horizon = min(self.horizon, forecasts.shape[1])
+        if horizon == 0:
+            raise ValueError("disturbance_forecasts must cover at least one step")
+        if occupied.shape[1] < horizon:
+            raise ValueError("occupied_forecasts must cover the planning horizon")
+        if rngs is None:
+            rngs = spawn_rngs(self._rng, n_problems)
+        if len(rngs) != n_problems:
+            raise ValueError(f"Expected {n_problems} generators, got {len(rngs)}")
+
+        num_samples = self.num_samples
+        sequences = np.empty((n_problems, num_samples, horizon), dtype=np.int64)
+        for i, generator in enumerate(rngs):
+            # The exact draw plan() makes, one problem at a time.
+            sequences[i] = generator.integers(
+                0, self.action_space.n, size=(num_samples, horizon)
+            )
+        flat_sequences = sequences.reshape(n_problems * num_samples, horizon)
+        flat_states = np.repeat(states, num_samples)
+        returns = np.zeros(n_problems * num_samples)
+
+        # Persistence forecasts (every step identical per problem) are a
+        # broadcast view with a zero stride along the horizon axis — hoist
+        # the per-step disturbance/occupancy gather out of the loop for them.
+        persistent = forecasts.strides[1] == 0 and occupied.strides[1] == 0
+        if persistent:
+            shared_disturbances = np.repeat(forecasts[:, 0, :], num_samples, axis=0)
+            shared_occupied = np.repeat(occupied[:, 0], num_samples)
+
+        for t in range(horizon):
+            action_indices = flat_sequences[:, t]
+            actions = self._pairs[action_indices]
+            if persistent:
+                disturbances = shared_disturbances
+                occupied_t = shared_occupied
+            else:
+                disturbances = np.repeat(forecasts[:, t, :], num_samples, axis=0)
+                occupied_t = np.repeat(occupied[:, t], num_samples)
+            next_states = self._predict(flat_states, disturbances, actions)
+            returns += (self.discount**t) * self._step_rewards(
+                next_states, action_indices, occupied_t
+            )
+            flat_states = next_states
+
+        per_problem = returns.reshape(n_problems, num_samples)
+        best = np.argmax(per_problem, axis=1)  # first max, matching plan()
+        rows = np.arange(n_problems)
+        best_sequences = sequences[rows, best]
+        best_indices = best_sequences[:, 0]
+        return BatchPlanResult(
+            best_action_indices=best_indices.copy(),
+            best_returns=per_problem[rows, best],
+            best_sequences=best_sequences.copy(),
+            best_setpoint_pairs=self._pairs[best_indices].astype(int),
         )
 
     def _predict(

@@ -19,7 +19,7 @@ setpoint action is broadcast to every zone's HVAC unit, matching the Sinergym
 
 from repro.buildings.zones import ZoneParameters, InterZoneCoupling, five_zone_layout
 from repro.buildings.occupancy import OccupancySchedule, office_schedule
-from repro.buildings.hvac import HVACUnit, HVACResult
+from repro.buildings.hvac import BatchedHVACPlant, BatchedHVACResult, HVACUnit, HVACResult
 from repro.buildings.thermal import ThermalNetwork, ThermalState
 from repro.buildings.building import Building, BuildingStepResult, make_five_zone_building
 
@@ -31,6 +31,8 @@ __all__ = [
     "office_schedule",
     "HVACUnit",
     "HVACResult",
+    "BatchedHVACPlant",
+    "BatchedHVACResult",
     "ThermalNetwork",
     "ThermalState",
     "Building",

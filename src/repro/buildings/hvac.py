@@ -18,6 +18,9 @@ proxy — but the evaluation reports real metered energy, as EnergyPlus does.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 from repro.buildings.zones import ZoneParameters
 
@@ -90,3 +93,86 @@ class HVACUnit:
 
         idle_draw = self.parasitic_power_w if occupied else 0.0
         return HVACResult(thermal_power_w=0.0, electric_power_w=idle_draw, mode="idle")
+
+
+@dataclass(frozen=True)
+class BatchedHVACResult:
+    """Vectorised HVAC evaluation over ``(B, n_zones)`` zone temperatures."""
+
+    thermal_power_w: np.ndarray
+    electric_power_w: np.ndarray
+    heating_mask: np.ndarray
+    cooling_mask: np.ndarray
+
+
+class BatchedHVACPlant:
+    """All HVAC units of ``B`` buildings evaluated with one set of array ops.
+
+    Built from per-building ``{zone name: HVACUnit}`` maps (typically ``B``
+    identical plants).  Every array op mirrors :meth:`HVACUnit.evaluate`
+    element-wise, so each ``(building, zone)`` cell is bit-identical to the
+    scalar unit's result.
+    """
+
+    def __init__(self, unit_maps: Sequence[Dict[str, HVACUnit]], zone_names: Sequence[str]):
+        if not unit_maps:
+            raise ValueError("At least one building's HVAC units are required")
+        self.zone_names = list(zone_names)
+        units = [[unit_map[name] for name in self.zone_names] for unit_map in unit_maps]
+
+        def stack(attr) -> np.ndarray:
+            return np.array([[attr(u) for u in row] for row in units], dtype=float)
+
+        self.heating_cop = stack(lambda u: u.heating_cop)
+        self.cooling_cop = stack(lambda u: u.cooling_cop)
+        self.gain_w_per_k = stack(lambda u: u.proportional_gain_w_per_k)
+        self.deadband_k = stack(lambda u: u.deadband_k)
+        self.parasitic_power_w = stack(lambda u: u.parasitic_power_w)
+        self.max_heating_power_w = stack(lambda u: u.zone.max_heating_power_w)
+        self.max_cooling_power_w = stack(lambda u: u.zone.max_cooling_power_w)
+
+    @property
+    def batch_size(self) -> int:
+        return self.heating_cop.shape[0]
+
+    def evaluate(
+        self,
+        zone_temperatures: np.ndarray,
+        heating_setpoint_c: np.ndarray,
+        cooling_setpoint_c: np.ndarray,
+        occupied: np.ndarray,
+    ) -> BatchedHVACResult:
+        """Evaluate every unit: ``(B, n_zones)`` temperatures, ``(B,)`` setpoints."""
+        temps = np.asarray(zone_temperatures, dtype=float)
+        heating_sp = np.asarray(heating_setpoint_c, dtype=float).reshape(-1, 1)
+        cooling_sp = np.asarray(cooling_setpoint_c, dtype=float).reshape(-1, 1)
+        occupied = np.asarray(occupied, dtype=bool).reshape(-1, 1)
+        if np.any(heating_sp > cooling_sp):
+            raise ValueError("heating setpoint must not exceed cooling setpoint")
+
+        heating_error = heating_sp - temps
+        cooling_error = temps - cooling_sp
+        heating_mask = heating_error > self.deadband_k
+        cooling_mask = ~heating_mask & (cooling_error > self.deadband_k)
+
+        heating_thermal = np.minimum(self.gain_w_per_k * heating_error, self.max_heating_power_w)
+        cooling_thermal = np.minimum(self.gain_w_per_k * cooling_error, self.max_cooling_power_w)
+
+        thermal = np.where(
+            heating_mask, heating_thermal, np.where(cooling_mask, -cooling_thermal, 0.0)
+        )
+        electric = np.where(
+            heating_mask,
+            heating_thermal / self.heating_cop + self.parasitic_power_w,
+            np.where(
+                cooling_mask,
+                cooling_thermal / self.cooling_cop + self.parasitic_power_w,
+                np.where(occupied, self.parasitic_power_w, 0.0),
+            ),
+        )
+        return BatchedHVACResult(
+            thermal_power_w=thermal,
+            electric_power_w=electric,
+            heating_mask=heating_mask,
+            cooling_mask=cooling_mask,
+        )

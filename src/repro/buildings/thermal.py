@@ -89,6 +89,8 @@ class ThermalNetwork:
             a, b = self._index[coupling.zone_a], self._index[coupling.zone_b]
             self._coupling_matrix[a, b] += coupling.ua_w_per_k
             self._coupling_matrix[b, a] += coupling.ua_w_per_k
+        # Row sums are constant — precompute instead of re-summing every sub-step.
+        self._coupling_row_sums = self._coupling_matrix.sum(axis=1)
 
     @property
     def zone_names(self) -> List[str]:
@@ -109,7 +111,12 @@ class ThermalNetwork:
         gains: Dict[str, ZoneGains],
         duration_seconds: float,
     ) -> ThermalState:
-        """Advance the network by ``duration_seconds`` with constant boundary conditions."""
+        """Advance the network by ``duration_seconds`` with constant boundary conditions.
+
+        Uses the same ``einsum`` contraction as :meth:`step_batch` (summing
+        over the neighbour axis in the same order), so a scalar step is
+        bit-identical to the corresponding row of a batched step.
+        """
         if duration_seconds <= 0:
             raise ValueError("duration_seconds must be positive")
         temps = state.temperatures.copy()
@@ -125,11 +132,66 @@ class ThermalNetwork:
         while remaining > 1e-9:
             h = min(dt, remaining)
             envelope_flow = effective_ua * (outdoor_temperature_c - temps)
-            inter_zone_flow = self._coupling_matrix @ temps - self._coupling_matrix.sum(axis=1) * temps
+            inter_zone_flow = (
+                np.einsum("ij,j->i", self._coupling_matrix, temps)
+                - self._coupling_row_sums * temps
+            )
             d_temps = (envelope_flow + inter_zone_flow + gain_vector) / self._capacitance
             temps = temps + h * d_temps
             remaining -= h
         return ThermalState(temps)
+
+    def step_batch(
+        self,
+        temperatures: np.ndarray,
+        outdoor_temperature_c: np.ndarray,
+        wind_speed_ms: np.ndarray,
+        gains_w: np.ndarray,
+        duration_seconds: float,
+    ) -> np.ndarray:
+        """Advance ``B`` independent copies of the network in one fused loop.
+
+        Parameters
+        ----------
+        temperatures:
+            ``(B, n_zones)`` current zone temperatures, one row per building.
+        outdoor_temperature_c, wind_speed_ms:
+            ``(B,)`` per-building boundary conditions.
+        gains_w:
+            ``(B, n_zones)`` total heat input per zone (W, averaged over the step).
+        duration_seconds:
+            Common integration length for every row.
+
+        Returns the ``(B, n_zones)`` temperatures after the step.  Every row
+        evolves exactly as a scalar :meth:`step` would evolve it: the Euler
+        sub-step loop runs once for the whole batch, and all per-row arithmetic
+        is element-wise (or sums over the zone axis only), so results are
+        independent of the batch size.
+        """
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        temps = np.array(temperatures, dtype=float)
+        if temps.ndim != 2 or temps.shape[1] != len(self.zones):
+            raise ValueError(f"temperatures must have shape (B, {len(self.zones)})")
+        outdoor = np.asarray(outdoor_temperature_c, dtype=float).reshape(-1, 1)
+        wind = np.asarray(wind_speed_ms, dtype=float).reshape(-1, 1)
+        gains = np.asarray(gains_w, dtype=float)
+
+        effective_ua = self._envelope_ua + self._infiltration_per_wind * np.maximum(wind, 0.0)
+
+        remaining = float(duration_seconds)
+        dt = self.substep_seconds
+        while remaining > 1e-9:
+            h = min(dt, remaining)
+            envelope_flow = effective_ua * (outdoor - temps)
+            inter_zone_flow = (
+                np.einsum("ij,bj->bi", self._coupling_matrix, temps)
+                - self._coupling_row_sums * temps
+            )
+            d_temps = (envelope_flow + inter_zone_flow + gains) / self._capacitance
+            temps = temps + h * d_temps
+            remaining -= h
+        return temps
 
     def steady_state_temperature(
         self, outdoor_temperature_c: float, wind_speed_ms: float, gains: Dict[str, ZoneGains]
@@ -145,7 +207,7 @@ class ThermalNetwork:
             gain_vector[self._index[name]] = zone_gains.total_w
         effective_ua = self._envelope_ua + self._infiltration_per_wind * max(wind_speed_ms, 0.0)
         # Build the linear system A T = b from the heat balance at equilibrium.
-        a_matrix = np.diag(effective_ua + self._coupling_matrix.sum(axis=1)) - self._coupling_matrix
+        a_matrix = np.diag(effective_ua + self._coupling_row_sums) - self._coupling_matrix
         b_vector = effective_ua * outdoor_temperature_c + gain_vector
         return np.linalg.solve(a_matrix, b_vector)
 

@@ -15,6 +15,7 @@ from repro.env.reward import RewardBreakdown, compute_reward, setpoint_energy_pr
 from repro.env.hvac_env import HVACEnvironment, EnvironmentStep, make_environment
 from repro.env.dataset import Transition, TransitionDataset, collect_historical_data
 from repro.env.wrappers import NormalizedObservationWrapper, EpisodeRecorder
+from repro.env.vector_env import BatchedEnvironmentStep, BatchedHVACEnvironment
 
 __all__ = [
     "Box",
@@ -31,4 +32,6 @@ __all__ = [
     "collect_historical_data",
     "NormalizedObservationWrapper",
     "EpisodeRecorder",
+    "BatchedEnvironmentStep",
+    "BatchedHVACEnvironment",
 ]

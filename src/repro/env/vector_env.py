@@ -1,0 +1,339 @@
+"""Vectorised batch HVAC environment.
+
+:class:`BatchedHVACEnvironment` steps ``B`` episodes per call: zone
+temperatures live in one ``(B, n_zones)`` array, the HVAC plant of every
+building is evaluated with one set of array ops
+(:class:`~repro.buildings.hvac.BatchedHVACPlant`) and the RC networks advance
+through one fused Euler loop (:meth:`~repro.buildings.thermal.ThermalNetwork.step_batch`).
+
+Episodes may differ in weather, occupancy and seeds; they must share the
+episode length, the control/substep resolution and the building's thermal
+topology (the standard scenario grid satisfies all of this — every episode is
+the same five-zone building under a different disturbance trace).
+
+Equivalence guarantee: every array op mirrors the scalar
+:class:`~repro.env.hvac_env.HVACEnvironment` step arithmetic element-wise, in
+the same order, and the thermal kernel is literally shared with the scalar
+path — so batched trajectories are bit-identical to stepping each episode
+alone.  The equivalence test-suite (`tests/test_batch_equivalence.py`) locks
+this in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.buildings.hvac import BatchedHVACPlant
+from repro.buildings.thermal import OCCUPANT_GAIN_W
+from repro.env.hvac_env import HVACEnvironment
+
+
+@dataclass
+class BatchedEnvironmentStep:
+    """The result of stepping every episode of the batch once.
+
+    ``info`` holds one array of length ``B`` per scalar info key of the serial
+    environment (plus the scalar ``step``), keeping the hot path free of
+    per-episode dict construction.
+    """
+
+    observations: np.ndarray
+    rewards: np.ndarray
+    terminated: bool
+    truncated: bool
+    info: Dict[str, Union[int, np.ndarray]] = field(default_factory=dict)
+
+    def episode_info(self, index: int) -> Dict[str, float]:
+        """Materialise the serial-style info dict of one episode (diagnostics)."""
+        out: Dict[str, float] = {}
+        for key, value in self.info.items():
+            out[key] = value if np.isscalar(value) else float(np.asarray(value)[index])
+        return out
+
+
+def _stacked_disturbances(environment: HVACEnvironment) -> np.ndarray:
+    """The full ``(T, 5)`` disturbance matrix of one episode."""
+    weather = environment.weather
+    return np.column_stack(
+        [
+            weather.outdoor_temperature,
+            weather.relative_humidity,
+            weather.wind_speed,
+            weather.solar_radiation,
+            environment.occupancy.counts,
+        ]
+    )
+
+
+class BatchedHVACEnvironment:
+    """``B`` HVAC episodes stepped together through shared array kernels."""
+
+    def __init__(self, environments: Sequence[HVACEnvironment]):
+        if not environments:
+            raise ValueError("At least one environment is required")
+        self.environments: List[HVACEnvironment] = list(environments)
+        first = self.environments[0]
+        self.num_steps = first.num_steps
+        self.step_duration_seconds = first.step_duration_seconds
+        self._validate_batch(first)
+
+        buildings = [env.building for env in self.environments]
+        self.network = buildings[0].network
+        self.hvac_substep_seconds = buildings[0].hvac_substep_seconds
+        self.plant = BatchedHVACPlant(
+            [b.hvac_units for b in buildings], self.network.zone_names
+        )
+        self._controlled_index = self.network.zone_index(buildings[0].controlled_zone)
+
+        zones = buildings[0].zones
+        total_area = sum(z.floor_area_m2 for z in zones)
+        self._window_area = np.array([z.window_area_m2 for z in zones])
+        self._shgc = np.array([z.solar_heat_gain_coefficient for z in zones])
+        self._equipment_gain = np.array([z.equipment_gain_w for z in zones])
+        self._area_share = np.array([z.floor_area_m2 / total_area for z in zones])
+
+        # Per-episode disturbance/occupancy traces, stacked once up front.
+        self._disturbances = np.stack([_stacked_disturbances(e) for e in self.environments])
+        self._occupied = np.stack(
+            [np.asarray(e.occupancy.occupied, dtype=bool) for e in self.environments]
+        )
+        self._hours = np.stack(
+            [np.asarray(e.weather.hour_of_day, dtype=float) for e in self.environments]
+        )
+        self._initial_temperature = np.array(
+            [e.initial_zone_temperature for e in self.environments]
+        )
+
+        # Per-episode reward/action parameters (identical under one scenario,
+        # but cheap to keep per-row).
+        self._comfort_lower = np.array(
+            [e.config.reward.comfort.lower for e in self.environments]
+        )
+        self._comfort_upper = np.array(
+            [e.config.reward.comfort.upper for e in self.environments]
+        )
+        self._w_occupied = np.array(
+            [e.config.reward.weight_energy_occupied for e in self.environments]
+        )
+        self._w_unoccupied = np.array(
+            [e.config.reward.weight_energy_unoccupied for e in self.environments]
+        )
+        off = np.array([e.config.actions.off_setpoints() for e in self.environments], dtype=float)
+        self._off_heating = off[:, 0]
+        self._off_cooling = off[:, 1]
+        self._pairs = np.array(first.action_space.pairs, dtype=float)
+
+        self._step_index = 0
+        self._temperatures = np.full(
+            (self.batch_size, len(zones)), 20.0, dtype=float
+        )
+
+    # ------------------------------------------------------------- validation
+    def _validate_batch(self, first: HVACEnvironment) -> None:
+        reference = first.building.network
+
+        def gain_parameters(building) -> list:
+            # Everything the gain computation reads from buildings[0] only.
+            return [
+                (
+                    z.window_area_m2,
+                    z.solar_heat_gain_coefficient,
+                    z.equipment_gain_w,
+                    z.floor_area_m2,
+                )
+                for z in building.zones
+            ]
+
+        for env in self.environments:
+            if env.num_steps != self.num_steps:
+                raise ValueError("All episodes in a batch must have the same length")
+            if env.step_duration_seconds != self.step_duration_seconds:
+                raise ValueError("All episodes must share the control-step duration")
+            network = env.building.network
+            if network.zone_names != reference.zone_names:
+                raise ValueError("All buildings in a batch must share the zone layout")
+            if env.building.controlled_zone != first.building.controlled_zone:
+                raise ValueError("All buildings in a batch must share the controlled zone")
+            if env.building.hvac_substep_seconds != first.building.hvac_substep_seconds:
+                raise ValueError("All buildings must share hvac_substep_seconds")
+            for attr in ("_capacitance", "_envelope_ua", "_infiltration_per_wind", "_coupling_matrix"):
+                if not np.array_equal(getattr(network, attr), getattr(reference, attr)):
+                    raise ValueError(
+                        "All buildings in a batch must share thermal parameters "
+                        f"(mismatch in {attr.lstrip('_')})"
+                    )
+            if gain_parameters(env.building) != gain_parameters(first.building):
+                raise ValueError(
+                    "All buildings in a batch must share solar/internal gain parameters"
+                )
+            if network.substep_seconds != reference.substep_seconds:
+                raise ValueError("All buildings must share the thermal sub-step")
+            if env.action_space.pairs != first.action_space.pairs:
+                raise ValueError("All episodes must share the action space")
+
+    # -------------------------------------------------------------- properties
+    @property
+    def batch_size(self) -> int:
+        return len(self.environments)
+
+    @property
+    def step_index(self) -> int:
+        return self._step_index
+
+    @property
+    def zone_temperatures(self) -> np.ndarray:
+        """Current ``(B, n_zones)`` zone temperatures."""
+        return self._temperatures.copy()
+
+    @property
+    def controlled_zone_temperatures(self) -> np.ndarray:
+        return self._temperatures[:, self._controlled_index].copy()
+
+    def observations(self) -> np.ndarray:
+        """Stacked ``(B, 6)`` Table-1 observation vectors."""
+        disturbance = self._disturbances[:, self._step_index % self.num_steps, :]
+        return np.column_stack(
+            [self._temperatures[:, self._controlled_index], disturbance]
+        )
+
+    # ------------------------------------------------------------------ reset
+    def reset(self) -> Tuple[np.ndarray, Dict[str, Union[int, np.ndarray]]]:
+        """Reset every episode to its initial state."""
+        self._step_index = 0
+        self._temperatures = np.repeat(
+            self._initial_temperature[:, np.newaxis], self._temperatures.shape[1], axis=1
+        )
+        info = {
+            "step": 0,
+            "hour_of_day": self._hours[:, 0].copy(),
+            "occupied": self._occupied[:, 0].astype(float),
+        }
+        return self.observations(), info
+
+    # ------------------------------------------------------------------- step
+    def step(self, actions: Union[np.ndarray, Sequence]) -> BatchedEnvironmentStep:
+        """Apply one setpoint action per episode and advance every plant."""
+        step = self._step_index
+        if step >= self.num_steps:
+            raise RuntimeError("Episodes are over; call reset() before stepping again")
+        heating, cooling = self._resolve_actions(actions)
+
+        disturbance = self._disturbances[:, step, :]
+        occupied = self._occupied[:, step]
+        outdoor = disturbance[:, 0]
+        wind = disturbance[:, 2]
+        solar = disturbance[:, 3]
+        occupants = disturbance[:, 4]
+
+        # Constant within the control step, exactly as in the scalar building.
+        solar_gain = (np.maximum(solar, 0.0)[:, np.newaxis] * self._window_area) * self._shgc
+        internal_gain = (OCCUPANT_GAIN_W * occupants[:, np.newaxis]) * self._area_share + np.where(
+            occupied[:, np.newaxis], self._equipment_gain, 0.1 * self._equipment_gain
+        )
+
+        batch = self.batch_size
+        electric_j = np.zeros(batch)
+        thermal_j = np.zeros(batch)
+        heating_j = np.zeros(batch)
+        cooling_j = np.zeros(batch)
+        temps = self._temperatures
+
+        remaining = self.step_duration_seconds
+        while remaining > 1e-9:
+            interval = min(self.hvac_substep_seconds, remaining)
+            hvac = self.plant.evaluate(temps, heating, cooling, occupied)
+            gains = hvac.thermal_power_w + solar_gain + internal_gain
+            thermal_abs = np.abs(hvac.thermal_power_w)
+            # Zone-sequential accumulation matches the scalar building's
+            # summation order bit-for-bit (n_zones is tiny).
+            for z in range(temps.shape[1]):
+                electric_j += hvac.electric_power_w[:, z] * interval
+                zone_abs = thermal_abs[:, z] * interval
+                thermal_j += zone_abs
+                heating_j += np.where(hvac.heating_mask[:, z], zone_abs, 0.0)
+                cooling_j += np.where(hvac.cooling_mask[:, z], zone_abs, 0.0)
+            temps = self.network.step_batch(temps, outdoor, wind, gains, interval)
+            remaining -= interval
+        self._temperatures = temps
+
+        zone_temperature = temps[:, self._controlled_index]
+        rewards, energy_proxy, comfort_violation, w_e = self._compute_rewards(
+            zone_temperature, heating, cooling, occupied
+        )
+
+        self._step_index += 1
+        truncated = self._step_index >= self.num_steps
+        obs_step = self._step_index if not truncated else self._step_index - 1
+        observation = np.column_stack(
+            [zone_temperature, self._disturbances[:, obs_step, :]]
+        )
+
+        joules_to_kwh = 1.0 / 3.6e6
+        comfort_ok = (self._comfort_lower <= zone_temperature) & (
+            zone_temperature <= self._comfort_upper
+        )
+        info: Dict[str, Union[int, np.ndarray]] = {
+            "step": step,
+            "hour_of_day": self._hours[:, step].copy(),
+            "occupied": occupied.astype(float),
+            "heating_setpoint": heating.astype(float),
+            "cooling_setpoint": cooling.astype(float),
+            "zone_temperature": zone_temperature.copy(),
+            "hvac_electric_energy_kwh": electric_j * joules_to_kwh,
+            "heating_energy_kwh": heating_j * joules_to_kwh,
+            "cooling_energy_kwh": cooling_j * joules_to_kwh,
+            "energy_proxy": energy_proxy,
+            "comfort_violation": comfort_violation,
+            "comfort_violated": (occupied & ~comfort_ok).astype(float),
+        }
+        return BatchedEnvironmentStep(
+            observations=observation,
+            rewards=rewards,
+            terminated=False,
+            truncated=truncated,
+            info=info,
+        )
+
+    # ---------------------------------------------------------------- helpers
+    def _resolve_actions(self, actions: Union[np.ndarray, Sequence]) -> Tuple[np.ndarray, np.ndarray]:
+        """Map per-episode actions to (heating, cooling) setpoint arrays."""
+        actions = np.asarray(actions)
+        if actions.ndim == 1 and np.issubdtype(actions.dtype, np.integer):
+            if len(actions) != self.batch_size:
+                raise ValueError(f"Expected {self.batch_size} actions, got {len(actions)}")
+            if actions.min() < 0 or actions.max() >= len(self._pairs):
+                raise IndexError("Action index outside the setpoint table")
+            pairs = self._pairs[actions]
+            return pairs[:, 0], pairs[:, 1]
+        if actions.ndim == 2 and actions.shape == (self.batch_size, 2):
+            resolved = np.array(
+                [
+                    env._resolve_action((float(a[0]), float(a[1])))
+                    for env, a in zip(self.environments, actions)
+                ],
+                dtype=float,
+            )
+            return resolved[:, 0], resolved[:, 1]
+        raise ValueError(
+            "actions must be a (B,) integer index array or a (B, 2) setpoint array"
+        )
+
+    def _compute_rewards(
+        self,
+        zone_temperature: np.ndarray,
+        heating: np.ndarray,
+        cooling: np.ndarray,
+        occupied: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised Eq. 2, mirroring :func:`repro.env.reward.compute_reward`."""
+        w_e = np.where(occupied, self._w_occupied, self._w_unoccupied)
+        energy_proxy = np.abs(heating - self._off_heating) + np.abs(cooling - self._off_cooling)
+        above = np.maximum(zone_temperature - self._comfort_upper, 0.0)
+        below = np.maximum(self._comfort_lower - zone_temperature, 0.0)
+        violation = above + below
+        energy_term = -w_e * energy_proxy
+        comfort_term = -(1.0 - w_e) * violation
+        return energy_term + comfort_term, energy_proxy, violation, w_e

@@ -73,6 +73,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         episodes=args.episodes,
         base_seed=args.seed,
         max_steps=args.steps,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        workers=args.workers,
     )
     result = runner.run(agent, agent_config=_parse_agent_args(args.agent_arg))
     print(format_table(ExperimentResult.SUMMARY_HEADER, [result.summary_row()]))
@@ -154,7 +157,7 @@ def cmd_climates(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
+def _bench_rollout(args: argparse.Namespace) -> Dict:
     from repro.experiments.runner import ExperimentRunner
     from repro.experiments.scenarios import ScenarioSpec
 
@@ -166,19 +169,90 @@ def cmd_bench(args: argparse.Namespace) -> int:
         days=args.days,
     )
     agent = _resolve(canonical_name, args.agent)
-    runner = _resolve(ExperimentRunner, scenario, episodes=args.episodes, base_seed=args.seed)
+    runner = _resolve(
+        ExperimentRunner,
+        scenario,
+        episodes=args.episodes,
+        base_seed=args.seed,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        workers=args.workers,
+    )
     result = runner.run(agent)
+    return {
+        "benchmark": "rollout",
+        "scenario": scenario.name,
+        "agent": result.agent,
+        "days": args.days,
+        "episodes": args.episodes,
+        "backend": args.backend,
+        "batch_size": args.batch_size,
+        "steps_per_episode": result.total_steps // max(result.num_episodes, 1),
+        "mean_steps_per_second": result.mean_steps_per_second,
+        # Per-episode timings are redundant for the batched backend (the
+        # batch shares one wall clock, so every episode reports the same
+        # aggregate throughput).
+        **(
+            {"per_episode_steps_per_second": [e.steps_per_second for e in result.episodes]}
+            if args.backend != "batched"
+            else {}
+        ),
+    }
+
+
+def _bench_distill(args: argparse.Namespace) -> Dict:
+    """Time serial vs. batched Monte-Carlo distillation on a small pipeline."""
+    import numpy as np
+
+    from repro.agents.random_shooting import RandomShootingOptimizer
+    from repro.agents.rule_based import RuleBasedAgent
+    from repro.core.decision_dataset import DecisionDatasetGenerator
+    from repro.core.sampling import AugmentedHistoricalSampler
+    from repro.env.dataset import collect_historical_data
+    from repro.env.hvac_env import make_environment
+    from repro.nn.dynamics import ThermalDynamicsModel
+
+    environment = make_environment(city=args.climate, days=2, seed=args.seed, season=args.season)
+    data = collect_historical_data(
+        environment, RuleBasedAgent.from_config(environment), seed=args.seed + 1
+    )
+    model = ThermalDynamicsModel(hidden_sizes=(16,), seed=args.seed + 2)
+    model.fit(data, epochs=15, seed=args.seed + 3)
+    optimizer = RandomShootingOptimizer(
+        dynamics_model=model,
+        action_space=environment.action_space,
+        reward_config=environment.config.reward,
+        action_config=environment.config.actions,
+        num_samples=args.samples,
+        horizon=args.horizon,
+        seed=args.seed + 4,
+    )
+    generator = DecisionDatasetGenerator(
+        optimizer=optimizer,
+        sampler=AugmentedHistoricalSampler.from_dataset(data),
+        action_pairs=environment.action_space.pairs,
+        monte_carlo_runs=args.mc_runs,
+        planning_horizon=args.horizon,
+    )
+    serial = generator.generate(args.entries, seed=args.seed, method="serial")
+    batched = generator.generate(args.entries, seed=args.seed, method="batched")
+    return {
+        "benchmark": "distill",
+        "entries": args.entries,
+        "monte_carlo_runs": args.mc_runs,
+        "optimizer_samples": args.samples,
+        "planning_horizon": args.horizon,
+        "serial_seconds_per_entry": serial.generation_seconds_per_entry,
+        "batched_seconds_per_entry": batched.generation_seconds_per_entry,
+        "speedup": serial.generation_seconds_per_entry
+        / max(batched.generation_seconds_per_entry, 1e-12),
+        "labels_identical": bool(np.array_equal(serial.action_labels, batched.action_labels)),
+    }
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
     payload = to_jsonable(
-        {
-            "benchmark": "rollout",
-            "scenario": scenario.name,
-            "agent": result.agent,
-            "days": args.days,
-            "episodes": args.episodes,
-            "steps_per_episode": result.total_steps // max(result.num_episodes, 1),
-            "mean_steps_per_second": result.mean_steps_per_second,
-            "per_episode_steps_per_second": [e.steps_per_second for e in result.episodes],
-        }
+        _bench_distill(args) if args.target == "distill" else _bench_rollout(args)
     )
     print(json.dumps(payload, indent=2))
     if args.output:
@@ -204,6 +278,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--steps", type=int, default=None, help="cap on steps per episode")
     run.add_argument("--episodes", type=int, default=1)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--backend",
+        default="serial",
+        choices=["serial", "batched", "process"],
+        help="episode execution backend (identical results, different speed)",
+    )
+    run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="episodes stepped together per chunk (batched backend)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (process backend; default: CPU count)",
+    )
     run.add_argument(
         "--agent-arg",
         action="append",
@@ -236,13 +328,38 @@ def build_parser() -> argparse.ArgumentParser:
     climates = sub.add_parser("climates", help="list climate profiles and aliases")
     climates.set_defaults(func=cmd_climates)
 
-    bench = sub.add_parser("bench", help="time a rollout, write a steps/sec baseline")
+    bench = sub.add_parser(
+        "bench", help="time a rollout or the MC distillation, write a benchmark JSON"
+    )
+    bench.add_argument(
+        "--target",
+        default="rollout",
+        choices=["rollout", "distill"],
+        help="what to benchmark: environment rollouts or decision-dataset distillation",
+    )
     bench.add_argument("--agent", default="rule_based")
     bench.add_argument("--climate", default="pittsburgh")
     bench.add_argument("--season", default="winter", choices=["winter", "summer"])
     bench.add_argument("--days", type=int, default=1)
     bench.add_argument("--episodes", type=int, default=3)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--backend", default="serial", choices=["serial", "batched", "process"]
+    )
+    bench.add_argument("--batch-size", type=int, default=None)
+    bench.add_argument("--workers", type=int, default=None)
+    bench.add_argument(
+        "--entries", type=int, default=96, help="decision-dataset entries (distill target)"
+    )
+    bench.add_argument(
+        "--samples", type=int, default=64, help="RS candidate sequences (distill target)"
+    )
+    bench.add_argument(
+        "--mc-runs", type=int, default=3, help="Monte-Carlo runs per entry (distill target)"
+    )
+    bench.add_argument(
+        "--horizon", type=int, default=5, help="planning horizon (distill target)"
+    )
     bench.add_argument("--output", default=None)
     bench.set_defaults(func=cmd_bench)
 

@@ -8,21 +8,43 @@ multi-episode batches under per-episode seeds and aggregates reward, comfort
 and energy into structured results.  Everything downstream — the CLI, result
 tables, future batching/sharding layers — consumes the
 :class:`ExperimentResult` it returns.
+
+Execution backends
+------------------
+The runner executes its episode batch through a pluggable backend:
+
+* ``"serial"`` — one episode at a time (the reference path),
+* ``"batched"`` — all episodes of a chunk stepped together through
+  :class:`~repro.env.vector_env.BatchedHVACEnvironment` (vectorised plant),
+* ``"process"`` — one process per episode via :mod:`concurrent.futures`
+  (requires a registry agent name, so episodes are self-contained jobs).
+
+Per-episode seeding is identical across backends, and the batched plant is
+bit-identical to the serial one, so every backend produces the same
+:class:`EpisodeResult` metrics (wall-clock fields aside).  For the batched
+backend ``wall_seconds`` is the batch wall time divided by the batch size, so
+``steps_per_second`` reads as aggregate throughput.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.agents.base import BaseAgent
 from repro.agents.registry import canonical_name, make_agent
 from repro.env.hvac_env import HVACEnvironment
+from repro.env.vector_env import BatchedHVACEnvironment
 from repro.experiments.scenarios import ScenarioSpec, get_scenario
 from repro.utils.serialization import to_jsonable
+
+#: Execution backends understood by :class:`ExperimentRunner`.
+BACKENDS = ("serial", "batched", "process")
 
 
 @dataclass
@@ -222,6 +244,31 @@ def run_episode(
     )
 
 
+def _run_episode_job(
+    scenario: ScenarioSpec,
+    agent_name: str,
+    agent_config: Optional[Dict],
+    seed: int,
+    index: int,
+    max_steps: Optional[int],
+) -> EpisodeResult:
+    """One self-contained episode: built, run and aggregated in a worker process.
+
+    Module-level so it pickles for :class:`concurrent.futures.ProcessPoolExecutor`.
+    """
+    environment = scenario.build_environment(seed=seed)
+    agent = make_agent(agent_name, environment=environment, seed=seed, **(agent_config or {}))
+    return run_episode(
+        agent,
+        environment,
+        max_steps=max_steps,
+        scenario_name=scenario.name,
+        agent_name=agent_name,
+        episode_index=index,
+        seed=seed,
+    )
+
+
 class ExperimentRunner:
     """Builds environments from scenario specs and evaluates agents on them.
 
@@ -236,6 +283,15 @@ class ExperimentRunner:
         two runners with the same base seed produce identical results.
     max_steps:
         Optional cap on steps per episode (useful for smoke tests).
+    backend:
+        ``"serial"`` (default), ``"batched"`` or ``"process"`` — see the
+        module docstring.  All backends produce identical metrics for
+        identical seeds.
+    batch_size:
+        Episodes stepped together per chunk in the batched backend (default:
+        the whole episode batch).
+    workers:
+        Worker processes for the process backend (default: the CPU count).
     """
 
     def __init__(
@@ -244,15 +300,29 @@ class ExperimentRunner:
         episodes: int = 1,
         base_seed: int = 0,
         max_steps: Optional[int] = None,
+        backend: str = "serial",
+        batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ):
         if episodes <= 0:
             raise ValueError("episodes must be positive")
         if max_steps is not None and max_steps <= 0:
             raise ValueError("max_steps must be positive when given")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"Unknown backend {backend!r}. Available: {', '.join(BACKENDS)}"
+            )
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError("batch_size must be positive when given")
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive when given")
         self.scenario = get_scenario(scenario) if isinstance(scenario, str) else scenario
         self.episodes = episodes
         self.base_seed = int(base_seed)
         self.max_steps = max_steps
+        self.backend = backend
+        self.batch_size = batch_size
+        self.workers = workers
 
     def episode_seeds(self) -> List[int]:
         """Deterministic, well-separated per-episode seeds."""
@@ -288,14 +358,29 @@ class ExperimentRunner:
         episode with that episode's seed — which makes stochastic controllers
         (and on-the-fly model training) fully reproducible.  A pre-built
         agent instance is reused across episodes (its ``reset()`` is called
-        between episodes).
+        between episodes); the batched and process backends require a registry
+        name, which keeps every episode an independent, reproducible unit.
         """
+        if self.backend == "batched":
+            episodes = self._run_batched(agent, agent_config)
+        elif self.backend == "process":
+            episodes = self._run_process(agent, agent_config)
+        else:
+            episodes = self._run_serial(agent, agent_config)
+        return ExperimentResult(
+            scenario=self.scenario.name,
+            agent=episodes[0].agent,
+            episodes=episodes,
+        )
+
+    # --------------------------------------------------------------- backends
+    def _run_serial(
+        self, agent: Union[str, BaseAgent], agent_config: Optional[Dict]
+    ) -> List[EpisodeResult]:
         episodes: List[EpisodeResult] = []
-        result_agent_name = None
         for index, seed in enumerate(self.episode_seeds()):
             environment = self.build_environment(seed)
             episode_agent, name = self._resolve_agent(agent, environment, seed, agent_config)
-            result_agent_name = result_agent_name or name
             episodes.append(
                 run_episode(
                     episode_agent,
@@ -307,11 +392,136 @@ class ExperimentRunner:
                     seed=seed,
                 )
             )
-        return ExperimentResult(
-            scenario=self.scenario.name,
-            agent=result_agent_name,
-            episodes=episodes,
+        return episodes
+
+    def _require_agent_name(self, agent: Union[str, BaseAgent]) -> str:
+        if not isinstance(agent, str):
+            raise ValueError(
+                f"The {self.backend!r} backend requires a registry agent name "
+                "(a fresh agent is built per episode); pass backend='serial' "
+                "to reuse a pre-built agent instance"
+            )
+        return canonical_name(agent)
+
+    def _run_batched(
+        self, agent: Union[str, BaseAgent], agent_config: Optional[Dict]
+    ) -> List[EpisodeResult]:
+        name = self._require_agent_name(agent)
+        seeds = self.episode_seeds()
+        batch_size = self.batch_size or len(seeds)
+        episodes: List[EpisodeResult] = []
+        for offset in range(0, len(seeds), batch_size):
+            chunk = seeds[offset : offset + batch_size]
+            environments = [self.build_environment(seed) for seed in chunk]
+            agents = [
+                make_agent(name, environment=env, seed=seed, **(agent_config or {}))
+                for env, seed in zip(environments, chunk)
+            ]
+            episodes.extend(
+                self._run_episode_chunk(agents, environments, chunk, offset, name)
+            )
+        return episodes
+
+    def _run_episode_chunk(
+        self,
+        agents: Sequence[BaseAgent],
+        environments: Sequence[HVACEnvironment],
+        seeds: Sequence[int],
+        index_offset: int,
+        agent_name: str,
+    ) -> List[EpisodeResult]:
+        """Step one chunk of episodes together through the batched plant.
+
+        Per-episode metric accumulation mirrors :func:`run_episode` term by
+        term (same additions, same order), so each row of the result is
+        bit-identical to running that episode alone.
+        """
+        for episode_agent in agents:
+            episode_agent.reset()
+        batched = BatchedHVACEnvironment(environments)
+        observations, _info = batched.reset()
+        total = (
+            batched.num_steps
+            if self.max_steps is None
+            else min(self.max_steps, batched.num_steps)
         )
+        batch = batched.batch_size
+        total_reward = np.zeros(batch)
+        total_energy = np.zeros(batch)
+        occupied_steps = np.zeros(batch, dtype=int)
+        violation_steps = np.zeros(batch, dtype=int)
+        violation_degrees = np.zeros(batch)
+        zone_temperatures = np.zeros(batch)
+        steps_done = 0
+
+        start = time.perf_counter()
+        for step in range(total):
+            actions = np.fromiter(
+                (
+                    episode_agent.select_action(observations[i], environments[i], step)
+                    for i, episode_agent in enumerate(agents)
+                ),
+                dtype=np.int64,
+                count=batch,
+            )
+            result = batched.step(actions)
+            info = result.info
+            total_reward += result.rewards
+            total_energy += info["hvac_electric_energy_kwh"]
+            zone_temperatures += info["zone_temperature"]
+            occupied = info["occupied"].astype(bool)
+            occupied_steps += occupied
+            violation_steps += occupied & info["comfort_violated"].astype(bool)
+            violation_degrees += np.where(occupied, info["comfort_violation"], 0.0)
+            observations = result.observations
+            steps_done += 1
+            if result.truncated or result.terminated:
+                break
+        wall = time.perf_counter() - start
+
+        # Batch wall time is shared: per-episode steps_per_second then reads
+        # as the aggregate throughput of the batch.
+        per_episode_wall = wall / batch
+        return [
+            EpisodeResult(
+                scenario=self.scenario.name,
+                agent=agent_name,
+                episode=index_offset + i,
+                seed=int(seeds[i]),
+                steps=steps_done,
+                total_reward=float(total_reward[i]),
+                total_energy_kwh=float(total_energy[i]),
+                occupied_steps=int(occupied_steps[i]),
+                comfort_violation_steps=int(violation_steps[i]),
+                total_comfort_violation_degree_steps=float(violation_degrees[i]),
+                mean_zone_temperature=float(zone_temperatures[i] / steps_done)
+                if steps_done
+                else 0.0,
+                wall_seconds=per_episode_wall,
+            )
+            for i in range(batch)
+        ]
+
+    def _run_process(
+        self, agent: Union[str, BaseAgent], agent_config: Optional[Dict]
+    ) -> List[EpisodeResult]:
+        name = self._require_agent_name(agent)
+        seeds = self.episode_seeds()
+        max_workers = self.workers or os.cpu_count() or 1
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_episode_job,
+                    self.scenario,
+                    name,
+                    agent_config,
+                    seed,
+                    index,
+                    self.max_steps,
+                )
+                for index, seed in enumerate(seeds)
+            ]
+            return [future.result() for future in futures]
 
     def run_many(
         self,

@@ -173,6 +173,14 @@ class RewardConfig:
     def energy_weight(self, occupied: bool) -> float:
         return self.weight_energy_occupied if occupied else self.weight_energy_unoccupied
 
+    def energy_weights(self, occupied) -> "np.ndarray":
+        """Vectorised :meth:`energy_weight` over a boolean array."""
+        import numpy as np
+
+        return np.where(
+            occupied, self.weight_energy_occupied, self.weight_energy_unoccupied
+        )
+
 
 @dataclass(frozen=True)
 class SimulationConfig:

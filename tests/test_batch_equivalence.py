@@ -1,0 +1,269 @@
+"""Batched execution must be numerically identical to the serial reference.
+
+The whole point of the batch engine is speed *without* changing any
+paper-reproduction number: same seeds in, bit-identical trajectories, plans,
+labels and experiment results out.  These tests lock that contract in at
+every layer — thermal network, HVAC plant, environment, RS planner,
+Monte-Carlo distillation and the runner backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.random_shooting import RandomShootingOptimizer
+from repro.agents.rule_based import RuleBasedAgent
+from repro.core.decision_dataset import DecisionDatasetGenerator
+from repro.core.sampling import AugmentedHistoricalSampler
+from repro.env.dataset import collect_historical_data
+from repro.env.hvac_env import make_environment
+from repro.env.vector_env import BatchedHVACEnvironment
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.scenarios import get_scenario
+from repro.nn.dynamics import ThermalDynamicsModel
+from repro.utils.rng import spawn_rngs
+
+
+# --------------------------------------------------------------------- plant
+def test_thermal_step_batch_matches_scalar_rows():
+    from repro.buildings.building import make_five_zone_building
+    from repro.buildings.thermal import ThermalState, ZoneGains
+
+    network = make_five_zone_building().network
+    rng = np.random.default_rng(0)
+    temps = rng.uniform(15.0, 28.0, size=(8, len(network.zones)))
+    outdoor = rng.uniform(-10.0, 35.0, size=8)
+    wind = rng.uniform(0.0, 12.0, size=8)
+    gains = rng.uniform(-2000.0, 4000.0, size=(8, len(network.zones)))
+
+    batched = network.step_batch(temps, outdoor, wind, gains, duration_seconds=900.0)
+    for row in range(8):
+        scalar = network.step(
+            ThermalState(temps[row].copy()),
+            outdoor_temperature_c=float(outdoor[row]),
+            wind_speed_ms=float(wind[row]),
+            gains={
+                name: ZoneGains(hvac_thermal_w=float(gains[row, i]))
+                for i, name in enumerate(network.zone_names)
+            },
+            duration_seconds=900.0,
+        )
+        assert np.array_equal(batched[row], scalar.temperatures)
+
+
+def test_batched_hvac_plant_matches_scalar_units():
+    from repro.buildings.building import make_five_zone_building
+    from repro.buildings.hvac import BatchedHVACPlant
+
+    buildings = [make_five_zone_building() for _ in range(4)]
+    plant = BatchedHVACPlant(
+        [b.hvac_units for b in buildings], buildings[0].network.zone_names
+    )
+    rng = np.random.default_rng(1)
+    temps = rng.uniform(14.0, 30.0, size=(4, 5))
+    heating = np.array([18.0, 20.0, 21.0, 15.0])
+    cooling = np.array([24.0, 23.5, 26.0, 30.0])
+    occupied = np.array([True, False, True, False])
+
+    result = plant.evaluate(temps, heating, cooling, occupied)
+    for b, building in enumerate(buildings):
+        for z, name in enumerate(building.network.zone_names):
+            scalar = building.hvac_units[name].evaluate(
+                zone_temperature_c=float(temps[b, z]),
+                heating_setpoint_c=float(heating[b]),
+                cooling_setpoint_c=float(cooling[b]),
+                occupied=bool(occupied[b]),
+            )
+            assert result.thermal_power_w[b, z] == scalar.thermal_power_w
+            assert result.electric_power_w[b, z] == scalar.electric_power_w
+            assert result.heating_mask[b, z] == (scalar.mode == "heating")
+            assert result.cooling_mask[b, z] == (scalar.mode == "cooling")
+
+
+# --------------------------------------------------------------- environment
+def test_batched_environment_matches_serial_episodes():
+    spec = get_scenario("tucson/summer", days=1)
+    seeds = [3, 14, 15]
+    serial_envs = [spec.build_environment(seed=s) for s in seeds]
+    batched = BatchedHVACEnvironment([spec.build_environment(seed=s) for s in seeds])
+
+    obs_batch, _ = batched.reset()
+    obs_serial = np.stack([env.reset()[0] for env in serial_envs])
+    assert np.array_equal(obs_batch, obs_serial)
+
+    rng = np.random.default_rng(2)
+    for _ in range(serial_envs[0].num_steps):
+        actions = rng.integers(0, serial_envs[0].action_space.n, size=len(seeds))
+        batch_result = batched.step(actions)
+        for i, env in enumerate(serial_envs):
+            serial_result = env.step(int(actions[i]))
+            assert np.array_equal(serial_result.observation, batch_result.observations[i])
+            assert serial_result.reward == batch_result.rewards[i]
+            for key, value in serial_result.info.items():
+                batch_value = batch_result.info[key]
+                if not np.isscalar(batch_value):
+                    batch_value = batch_value[i]
+                assert float(value) == float(batch_value), key
+        assert batch_result.truncated == serial_result.truncated
+
+
+def test_batched_environment_rejects_mismatched_episodes():
+    short = get_scenario("pittsburgh/winter", days=1).build_environment(seed=0)
+    long = get_scenario("pittsburgh/winter", days=2).build_environment(seed=0)
+    with pytest.raises(ValueError, match="same length"):
+        BatchedHVACEnvironment([short, long])
+
+
+def test_batched_environment_rejects_mismatched_gain_parameters():
+    import dataclasses
+
+    spec = get_scenario("pittsburgh/winter", days=1)
+    reference = spec.build_environment(seed=0)
+    modified = spec.build_environment(seed=1)
+    zones = modified.building.zones
+    zones[0] = dataclasses.replace(zones[0], equipment_gain_w=zones[0].equipment_gain_w + 1.0)
+    with pytest.raises(ValueError, match="gain parameters"):
+        BatchedHVACEnvironment([reference, modified])
+
+
+# ------------------------------------------------------------------- planner
+@pytest.fixture(scope="module")
+def distillation_setup():
+    environment = make_environment(days=2, seed=0)
+    data = collect_historical_data(
+        environment, RuleBasedAgent.from_config(environment), seed=1
+    )
+    model = ThermalDynamicsModel(hidden_sizes=(16,), seed=2)
+    model.fit(data, epochs=3, seed=3)
+    optimizer = RandomShootingOptimizer(
+        dynamics_model=model,
+        action_space=environment.action_space,
+        reward_config=environment.config.reward,
+        action_config=environment.config.actions,
+        num_samples=50,
+        horizon=5,
+        seed=4,
+    )
+    sampler = AugmentedHistoricalSampler.from_dataset(data)
+    generator = DecisionDatasetGenerator(
+        optimizer=optimizer,
+        sampler=sampler,
+        action_pairs=environment.action_space.pairs,
+        monte_carlo_runs=3,
+        planning_horizon=5,
+    )
+    return optimizer, sampler, generator
+
+
+def test_plan_batch_matches_serial_plans(distillation_setup):
+    optimizer, sampler, _generator = distillation_setup
+    inputs = sampler.sample(5, np.random.default_rng(6))
+    states = inputs[:, 0]
+    disturbances = inputs[:, 1:]
+    occupied = disturbances[:, 4] > 0.5
+
+    serial_rngs = spawn_rngs(99, len(inputs))
+    batch_rngs = spawn_rngs(99, len(inputs))
+    horizon = 5
+    serial = [
+        optimizer.plan(
+            states[i],
+            np.repeat(disturbances[i].reshape(1, -1), horizon, axis=0),
+            [bool(occupied[i])] * horizon,
+            rng=serial_rngs[i],
+        )
+        for i in range(len(inputs))
+    ]
+    batch = optimizer.plan_batch(
+        states,
+        np.broadcast_to(disturbances[:, None, :], (len(inputs), horizon, 5)),
+        np.broadcast_to(occupied[:, None], (len(inputs), horizon)),
+        rngs=batch_rngs,
+    )
+    for i, result in enumerate(serial):
+        assert result.best_action_index == batch.best_action_indices[i]
+        assert result.best_return == batch.best_returns[i]
+        assert np.array_equal(result.best_sequence, batch.best_sequences[i])
+        assert result.best_setpoints == batch.result(i).best_setpoints
+
+
+def test_plan_populates_best_setpoints(distillation_setup):
+    optimizer, sampler, _generator = distillation_setup
+    policy_input = sampler.sample(1, np.random.default_rng(8))[0]
+    forecast = np.repeat(policy_input[1:].reshape(1, -1), 5, axis=0)
+    result = optimizer.plan(policy_input[0], forecast, [True] * 5, rng=7)
+    assert result.best_setpoints is not None
+    assert result.best_setpoints == tuple(
+        optimizer.action_space.to_pair(result.best_action_index)
+    )
+
+
+# -------------------------------------------------------------- distillation
+def test_batched_generate_identical_labels(distillation_setup):
+    _optimizer, _sampler, generator = distillation_setup
+    serial = generator.generate(12, seed=42, method="serial")
+    batched = generator.generate(12, seed=42, method="batched")
+    chunked = generator.generate(12, seed=42, method="batched", chunk_inputs=5)
+    assert np.array_equal(serial.inputs, batched.inputs)
+    assert np.array_equal(serial.action_labels, batched.action_labels)
+    assert np.array_equal(serial.action_labels, chunked.action_labels)
+
+
+def test_generate_rejects_unknown_method(distillation_setup):
+    _optimizer, _sampler, generator = distillation_setup
+    with pytest.raises(ValueError, match="Unknown method"):
+        generator.generate(4, seed=0, method="warp")
+
+
+# ------------------------------------------------------------------- runner
+def _strip_timing(result: ExperimentResult) -> dict:
+    data = result.to_dict()
+    data.pop("mean_steps_per_second")
+    for episode in data["episodes"]:
+        episode.pop("wall_seconds")
+        episode.pop("steps_per_second")
+    return data
+
+
+@pytest.mark.parametrize("backend,kwargs", [
+    ("batched", {"batch_size": 2}),
+    ("batched", {}),
+    ("process", {"workers": 2}),
+])
+def test_runner_backends_identical_results(backend, kwargs):
+    serial = ExperimentRunner(
+        "pittsburgh/winter", episodes=3, base_seed=11, max_steps=48
+    ).run("rule_based")
+    other = ExperimentRunner(
+        "pittsburgh/winter",
+        episodes=3,
+        base_seed=11,
+        max_steps=48,
+        backend=backend,
+        **kwargs,
+    ).run("rule_based")
+    assert _strip_timing(other) == _strip_timing(serial)
+
+
+def test_runner_backends_identical_for_stochastic_agent():
+    serial = ExperimentRunner(
+        "tucson/summer", episodes=4, base_seed=5, max_steps=24
+    ).run("random")
+    batched = ExperimentRunner(
+        "tucson/summer", episodes=4, base_seed=5, max_steps=24, backend="batched"
+    ).run("random")
+    assert _strip_timing(batched) == _strip_timing(serial)
+
+
+def test_batched_backend_requires_agent_name():
+    from repro.agents import ConstantAgent
+
+    runner = ExperimentRunner(
+        "pittsburgh/winter", episodes=1, max_steps=8, backend="batched"
+    )
+    with pytest.raises(ValueError, match="registry agent name"):
+        runner.run(ConstantAgent(20, 26))
+
+
+def test_runner_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="Unknown backend"):
+        ExperimentRunner("pittsburgh/winter", backend="quantum")
