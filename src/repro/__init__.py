@@ -32,6 +32,11 @@ _LAZY_EXPORTS = {
     "EpisodeResult": "repro.experiments.runner",
     "HVACEnvironment": "repro.env.hvac_env",
     "make_environment": "repro.env.hvac_env",
+    "PolicyStore": "repro.store",
+    "PolicyKey": "repro.store",
+    "CompiledTreePolicy": "repro.serving",
+    "CompiledTreeForest": "repro.serving",
+    "PolicyServer": "repro.serving",
 }
 
 __all__ = ["__version__"] + sorted(_LAZY_EXPORTS)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import inspect
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,40 @@ class BaseAgent:
         """Convenience: the chosen action as a (heating, cooling) setpoint pair."""
         action = self.select_action(observation, environment, step)
         return environment.action_space.to_pair(action)
+
+    # ------------------------------------------------------- batched selection
+    @classmethod
+    def select_actions_batch(
+        cls,
+        agents: Sequence["BaseAgent"],
+        observations: np.ndarray,
+        environments: Sequence[HVACEnvironment],
+        step: int,
+    ) -> np.ndarray:
+        """Actions for a batch of per-episode agents at one step.
+
+        ``agents[i]`` controls ``environments[i]`` and sees
+        ``observations[i]`` — the layout of the batched experiment backend,
+        which pairs one agent instance with one environment so per-episode
+        seeding stays identical to the serial reference.
+
+        The default walks ``select_action`` per episode, so every agent is
+        batch-callable with unchanged semantics.  Agents whose decisions
+        vectorise override this with an array fast path: ``rule_based``
+        precompiles its occupancy schedule into a per-step action plan and
+        ``dt`` routes all rows through one
+        :class:`~repro.serving.compiled.CompiledTreeForest` traversal.
+        Overrides must return exactly the actions the per-episode calls
+        would — the batched backend's bit-identical contract depends on it.
+        """
+        return np.fromiter(
+            (
+                agent.select_action(observations[i], environments[i], step)
+                for i, agent in enumerate(agents)
+            ),
+            dtype=np.int64,
+            count=len(agents),
+        )
 
     # -------------------------------------------------- registry construction
     @classmethod

@@ -10,11 +10,17 @@ dictionary::
     agent = make_agent("rule_based")
     agent = make_agent("mbrl", environment=env, training_epochs=30)
     agent = make_agent("dt", environment=env, pipeline={"num_decision_data": 200})
+    agent = make_agent("dt", environment=env, store="./policies")  # explicit store
+    agent = make_agent("dt", environment=env, store=False)         # bypass the store
 
 Construction goes through the class's ``from_config`` hook (see
 :meth:`repro.agents.base.BaseAgent.from_config`), which receives the target
 environment and a seed so model-based agents can train their dynamics model
 and the decision-tree agent can extract-and-verify its policy on the fly.
+The ``dt`` agent resolves its policy through the
+:class:`~repro.store.PolicyStore` by default, so repeated construction with
+an identical configuration deserialises the persisted artifact instead of
+re-running the pipeline.
 """
 
 from __future__ import annotations

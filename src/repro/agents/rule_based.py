@@ -9,7 +9,7 @@ setpoints.  Its online computation cost is effectively zero.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,8 @@ class RuleBasedAgent(BaseAgent):
         self.comfort = comfort or ComfortConfig.winter()
         self.preheat_hours = float(preheat_hours)
         self.setback_margin = float(setback_margin)
+        # (environment, per-step action plan) for the vectorised batch path.
+        self._plan_cache = None
 
     @classmethod
     def from_config(
@@ -74,3 +76,55 @@ class RuleBasedAgent(BaseAgent):
             heating, cooling = actions.off_setpoints()
         heating_sp, cooling_sp = actions.clip(heating, cooling)
         return environment.action_space.to_index(heating_sp, cooling_sp)
+
+    # ------------------------------------------------------- batched selection
+    def action_plan(self, environment: HVACEnvironment) -> np.ndarray:
+        """The controller's full per-step action sequence for one environment.
+
+        The schedule policy ignores the observation entirely — its decision is
+        a pure function of the occupancy calendar — so the whole episode
+        compiles to an index array once.  Each step of the plan reproduces
+        :meth:`select_action` term for term (same occupancy lookups, same
+        pre-heat window, same clipping), which the batch-equivalence suite
+        asserts.
+        """
+        if self._plan_cache is not None and self._plan_cache[0] is environment:
+            return self._plan_cache[1]
+        steps = environment.num_steps
+        occupied = np.asarray(environment.occupancy.occupied[:steps], dtype=bool)
+        active = occupied.copy()
+        if self.preheat_hours > 0:
+            steps_per_hour = environment.config.simulation.steps_per_hour
+            lookahead = int(round(self.preheat_hours * steps_per_hour))
+            for k in range(1, min(lookahead, steps - 1) + 1):
+                active[:-k] |= occupied[k:]
+        actions = environment.config.actions
+        on_index = environment.action_space.to_index(
+            self.comfort.lower + self.setback_margin,
+            self.comfort.upper - self.setback_margin,
+        )
+        off_index = environment.action_space.to_index(*actions.off_setpoints())
+        plan = np.where(active, on_index, off_index).astype(np.int64)
+        self._plan_cache = (environment, plan)
+        return plan
+
+    @classmethod
+    def select_actions_batch(
+        cls,
+        agents: Sequence["RuleBasedAgent"],
+        observations: np.ndarray,
+        environments: Sequence[HVACEnvironment],
+        step: int,
+    ) -> np.ndarray:
+        """Vectorised batch path: one gather from the stacked action plans."""
+        lead = agents[0]
+        key = tuple(id(env) for env in environments)
+        cache = getattr(lead, "_batch_plan_cache", None)
+        if cache is None or cache[0] != key:
+            plans = [agent.action_plan(env) for agent, env in zip(agents, environments)]
+            if len({len(plan) for plan in plans}) != 1:
+                # Mixed-horizon batches fall back to the per-episode reference.
+                return super().select_actions_batch(agents, observations, environments, step)
+            cache = (key, np.stack(plans))
+            lead._batch_plan_cache = cache
+        return cache[1][:, step]

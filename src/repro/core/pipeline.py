@@ -162,19 +162,29 @@ class PipelineConfig:
 
 @dataclass
 class PipelineResult:
-    """Everything the pipeline produced, from raw data to the verified policy."""
+    """Everything the pipeline produced, from raw data to the verified policy.
+
+    A result resolved from the :class:`~repro.store.PolicyStore` carries the
+    persisted artifacts (policy, verification, fidelity, model metrics) but
+    not the heavyweight intermediates — those fields are ``None`` and
+    ``cache_hit`` is True.
+    """
 
     config: PipelineConfig
     policy: TreePolicy
     verification: VerificationSummary
     fidelity: float
-    decision_dataset: DecisionDataset
-    historical_data: TransitionDataset
-    dynamics_model: ThermalDynamicsModel
-    sampler: AugmentedHistoricalSampler
-    model_rmse: float
-    model_mae: float
+    decision_dataset: Optional[DecisionDataset] = None
+    historical_data: Optional[TransitionDataset] = None
+    dynamics_model: Optional[ThermalDynamicsModel] = None
+    sampler: Optional[AugmentedHistoricalSampler] = None
+    model_rmse: float = float("nan")
+    model_mae: float = float("nan")
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: True when this result was loaded from the policy store (no extraction).
+    cache_hit: bool = False
+    #: Store name ("city/season/key_id") when the store was involved.
+    store_key: Optional[str] = None
 
     @property
     def total_seconds(self) -> float:
@@ -216,8 +226,14 @@ class PipelineResult:
                 "corrected_criterion_2": self.verification.corrected_criterion_2,
                 "corrected_criterion_3": self.verification.corrected_criterion_3,
                 "verified": self.verified,
-                "decision_data": len(self.decision_dataset),
-                "historical_transitions": len(self.historical_data),
+                "decision_data": (
+                    len(self.decision_dataset) if self.decision_dataset is not None else None
+                ),
+                "historical_transitions": (
+                    len(self.historical_data) if self.historical_data is not None else None
+                ),
+                "cache_hit": self.cache_hit,
+                "store_key": self.store_key,
                 "stage_seconds": self.stage_seconds,
             }
         )
@@ -235,10 +251,19 @@ class VerifiedPolicyPipeline:
     >>> result = VerifiedPolicyPipeline(PipelineConfig.tiny()).run()
     >>> agent = result.agent()          # deployable DecisionTreeAgent
     >>> result.verification.safe_probability  # doctest: +SKIP
+
+    When a ``store`` is supplied (a :class:`~repro.store.PolicyStore`, a path,
+    or ``True`` for the default store), :meth:`run` first resolves the
+    configuration against the store — a hit returns the persisted policy with
+    zero re-extraction — and every fresh run is written through, so the
+    second identical invocation is a pure cache hit.
     """
 
-    def __init__(self, config: Optional[PipelineConfig] = None):
+    def __init__(self, config: Optional[PipelineConfig] = None, store=None):
         self.config = config or PipelineConfig()
+        from repro.store import resolve_store
+
+        self.store = resolve_store(store)
 
     # ------------------------------------------------------------------ stages
     def build_environment(self) -> HVACEnvironment:
@@ -326,14 +351,37 @@ class VerifiedPolicyPipeline:
         historical_data: Optional[TransitionDataset] = None,
         dynamics_model: Optional[ThermalDynamicsModel] = None,
         decision_dataset: Optional[DecisionDataset] = None,
+        refresh: bool = False,
     ) -> PipelineResult:
         """Run extract → verify → deploy and return the verified policy.
 
         Any pre-built intermediate can be supplied to skip its stage — e.g.
         pass a fitted ``dynamics_model`` to rerun only extraction and
-        verification under a new seed or noise level.
+        verification under a new seed or noise level.  With a store attached,
+        a configuration already on disk short-circuits to the stored policy
+        (unless ``refresh=True`` or any intermediate override is passed, both
+        of which force a fresh run).
         """
         cfg = self.config
+        overridden = any(
+            artefact is not None
+            for artefact in (environment, historical_data, dynamics_model, decision_dataset)
+        )
+        if self.store is not None and not refresh and not overridden:
+            start = time.perf_counter()
+            stored = self.store.get(cfg)
+            if stored is not None:
+                return PipelineResult(
+                    config=cfg,
+                    policy=stored.policy,
+                    verification=stored.verification,
+                    fidelity=stored.fidelity,
+                    model_rmse=stored.model_rmse,
+                    model_mae=stored.model_mae,
+                    stage_seconds={"store_lookup": time.perf_counter() - start},
+                    cache_hit=True,
+                    store_key=stored.entry.key.name,
+                )
         # One child generator per stochastic stage, all derived from cfg.seed.
         (
             history_rng,
@@ -385,7 +433,8 @@ class VerifiedPolicyPipeline:
         )
         stage_seconds["verification"] = time.perf_counter() - start
 
-        return PipelineResult(
+        store_key = None
+        result = PipelineResult(
             config=cfg,
             policy=policy,
             verification=verification,
@@ -397,4 +446,11 @@ class VerifiedPolicyPipeline:
             model_rmse=rmse,
             model_mae=mae,
             stage_seconds=stage_seconds,
+            store_key=store_key,
         )
+        if self.store is not None:
+            start = time.perf_counter()
+            entry = self.store.put(result)
+            stage_seconds["store_put"] = time.perf_counter() - start
+            result.store_key = entry.key.name
+        return result

@@ -17,13 +17,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dtree.cart import DecisionTreeClassifier
-from repro.dtree.export import tree_from_dict, tree_to_dict, tree_to_text
+from repro.dtree.export import check_schema_version, tree_from_dict, tree_to_dict, tree_to_text
 from repro.dtree.node import TreeNode
 from repro.dtree.paths import LeafRegion, enumerate_leaf_regions
 from repro.env.hvac_env import OBSERVATION_NAMES
 
 #: Feature names of the policy-input vector (s followed by the disturbances).
 POLICY_FEATURE_NAMES: Tuple[str, ...] = OBSERVATION_NAMES
+
+#: Version of the ``TreePolicy.to_dict`` format (the policy-level envelope
+#: around the versioned tree dictionary).
+POLICY_SCHEMA_VERSION = 1
 
 #: Index of the controlled-zone temperature in the policy-input vector.
 ZONE_TEMPERATURE_FEATURE = 0
@@ -63,6 +67,31 @@ class TreePolicy:
         """The (heating, cooling) setpoints selected for a policy input."""
         index = self.predict_action_index(policy_input)
         return self.decode_action(index)
+
+    def predict_action_indices(self, policy_inputs: np.ndarray) -> np.ndarray:
+        """Action indices for a batch of policy inputs (reference traversal).
+
+        One recursive tree walk per row — the readable reference the compiled
+        serving path (:meth:`compiled`) is verified against.
+        """
+        inputs = np.atleast_2d(np.asarray(policy_inputs, dtype=float))
+        return np.fromiter(
+            (int(self.tree.predict_one(row)) for row in inputs),
+            dtype=np.int64,
+            count=len(inputs),
+        )
+
+    def compiled(self):
+        """This policy flattened for vectorised serving.
+
+        Returns a :class:`repro.serving.CompiledTreePolicy` whose
+        ``predict_batch`` selects exactly the same actions as the recursive
+        traversal, at array speed.  Imported lazily to keep ``repro.core``
+        free of a hard dependency on the serving subsystem.
+        """
+        from repro.serving.compiled import CompiledTreePolicy
+
+        return CompiledTreePolicy.from_policy(self)
 
     def decode_action(self, action_index: int) -> Tuple[int, int]:
         """Map an action label to its setpoint pair."""
@@ -139,6 +168,7 @@ class TreePolicy:
     # ---------------------------------------------------------- serialisation
     def to_dict(self) -> Dict:
         return {
+            "schema_version": POLICY_SCHEMA_VERSION,
             "city": self.city,
             "feature_names": self.feature_names,
             "action_pairs": [list(pair) for pair in self.action_pairs],
@@ -147,6 +177,7 @@ class TreePolicy:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TreePolicy":
+        check_schema_version(data, POLICY_SCHEMA_VERSION, "policy")
         tree = tree_from_dict(data["tree"])
         if not isinstance(tree, DecisionTreeClassifier):
             raise ValueError("TreePolicy requires a classification tree")

@@ -74,6 +74,35 @@ class FormalVerificationReport:
             and self.violations_criterion_3 == self.corrected_criterion_3
         )
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FormalVerificationReport":
+        """Rebuild a report persisted through ``to_jsonable`` (policy store)."""
+        records = [
+            LeafVerificationRecord(
+                leaf_id=int(r["leaf_id"]),
+                zone_temperature_interval=tuple(r["zone_temperature_interval"]),
+                heating_setpoint=int(r["heating_setpoint"]),
+                cooling_setpoint=int(r["cooling_setpoint"]),
+                subject_to_criterion_2=bool(r["subject_to_criterion_2"]),
+                subject_to_criterion_3=bool(r["subject_to_criterion_3"]),
+                violates_criterion_2=bool(r["violates_criterion_2"]),
+                violates_criterion_3=bool(r["violates_criterion_3"]),
+                corrected=bool(r["corrected"]),
+            )
+            for r in data.get("records", [])
+        ]
+        return cls(
+            total_nodes=int(data["total_nodes"]),
+            total_leaves=int(data["total_leaves"]),
+            leaves_subject_to_criterion_2=int(data["leaves_subject_to_criterion_2"]),
+            leaves_subject_to_criterion_3=int(data["leaves_subject_to_criterion_3"]),
+            violations_criterion_2=int(data["violations_criterion_2"]),
+            violations_criterion_3=int(data["violations_criterion_3"]),
+            corrected_criterion_2=int(data["corrected_criterion_2"]),
+            corrected_criterion_3=int(data["corrected_criterion_3"]),
+            records=records,
+        )
+
 
 @dataclass
 class ProbabilisticVerificationReport:
@@ -84,6 +113,16 @@ class ProbabilisticVerificationReport:
     threshold: float
     passed: bool
     method: str = "one_step"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbabilisticVerificationReport":
+        return cls(
+            safe_probability=float(data["safe_probability"]),
+            num_samples=int(data["num_samples"]),
+            threshold=float(data["threshold"]),
+            passed=bool(data["passed"]),
+            method=str(data.get("method", "one_step")),
+        )
 
 
 @dataclass
@@ -110,6 +149,27 @@ class VerificationSummary:
             self.corrected_criterion_2,
             self.corrected_criterion_3,
         ]
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerificationSummary":
+        """Rebuild a summary persisted through ``to_jsonable`` (policy store)."""
+        formal = data.get("formal_report")
+        probabilistic = data.get("probabilistic_report")
+        return cls(
+            city=data.get("city"),
+            total_nodes=int(data["total_nodes"]),
+            leaf_nodes=int(data["leaf_nodes"]),
+            safe_probability=float(data["safe_probability"]),
+            corrected_criterion_2=int(data["corrected_criterion_2"]),
+            corrected_criterion_3=int(data["corrected_criterion_3"]),
+            criterion_1_passed=bool(data["criterion_1_passed"]),
+            formal_report=FormalVerificationReport.from_dict(formal) if formal else None,
+            probabilistic_report=(
+                ProbabilisticVerificationReport.from_dict(probabilistic)
+                if probabilistic
+                else None
+            ),
+        )
 
 
 # ---------------------------------------------------------------- Algorithm 1

@@ -14,6 +14,26 @@ from typing import Any, Dict, Optional, Sequence
 from repro.dtree.cart import DecisionTreeClassifier, DecisionTreeRegressor, _BaseDecisionTree
 from repro.dtree.node import TreeNode
 
+#: Version of the ``tree_to_dict`` on-disk format.  Bump whenever the node or
+#: tree dictionary layout changes; ``tree_from_dict`` refuses any other
+#: version so persisted artifacts fail loudly instead of mis-deserializing.
+TREE_SCHEMA_VERSION = 1
+
+
+def check_schema_version(data: Dict[str, Any], expected: int, kind: str) -> None:
+    """Validate the ``schema_version`` of a serialised payload.
+
+    Payloads written before versioning was introduced carry no field and are
+    grandfathered in as version 1; any explicit mismatch is an error.
+    """
+    version = data.get("schema_version", 1)
+    if version != expected:
+        raise ValueError(
+            f"Unsupported {kind} schema_version {version!r}; this build reads "
+            f"version {expected}. The artifact was written by an incompatible "
+            "release — re-extract the policy instead of loading it."
+        )
+
 
 def tree_to_text(
     tree: _BaseDecisionTree,
@@ -94,6 +114,7 @@ def tree_to_dict(tree: _BaseDecisionTree) -> Dict[str, Any]:
     if tree.root is None:
         raise RuntimeError("Cannot export an unfitted tree")
     return {
+        "schema_version": TREE_SCHEMA_VERSION,
         "tree_type": type(tree).__name__,
         "criterion": tree.criterion,
         "max_depth": tree.max_depth,
@@ -107,6 +128,7 @@ def tree_to_dict(tree: _BaseDecisionTree) -> Dict[str, Any]:
 
 def tree_from_dict(data: Dict[str, Any]) -> _BaseDecisionTree:
     """Rebuild a tree previously serialised with :func:`tree_to_dict`."""
+    check_schema_version(data, TREE_SCHEMA_VERSION, "tree")
     tree_type = data.get("tree_type", "DecisionTreeClassifier")
     common = dict(
         max_depth=data.get("max_depth"),

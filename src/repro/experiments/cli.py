@@ -7,13 +7,17 @@ Subcommands::
     repro agents    list registered agents and aliases
     repro scenarios list the scenario grid (climate × season × building)
     repro climates  list climate profiles and descriptor aliases
-    repro bench     time a rollout and write a steps/sec baseline JSON
+    repro policies  list/prune/verify the policy store
+    repro serve     drive the compiled policy server with a request stream
+    repro bench     time rollouts, distillation or serving, write a baseline JSON
 
 Examples::
 
     python -m repro run --agent rule_based --climate pittsburgh --steps 96
     python -m repro run --agent dt --climate hot_humid --season summer
     python -m repro extract --climate tucson --preset tiny --save policy.json
+    python -m repro serve --requests 100000 --batch-size 512
+    python -m repro policies --verify
 """
 
 from __future__ import annotations
@@ -97,7 +101,10 @@ def cmd_extract(args: argparse.Namespace) -> int:
         config = _resolve(PipelineConfig.tiny, **overrides)
     else:
         config = _resolve(PipelineConfig, **overrides)
-    result = VerifiedPolicyPipeline(config).run()
+    result = VerifiedPolicyPipeline(config, store=args.store).run(refresh=args.refresh)
+    if result.store_key:
+        verb = "Loaded" if result.cache_hit else "Stored"
+        print(f"{verb} policy {result.store_key}")
 
     summary = result.summary_dict()
     rows = [[key, summary[key]] for key in sorted(summary) if key != "stage_seconds"]
@@ -154,6 +161,128 @@ def cmd_climates(_args: argparse.Namespace) -> int:
     print(format_table(["city", "ASHRAE", "Jan mean °C", "Jul mean °C"], rows))
     alias_rows = [[alias, city] for alias, city in sorted(available_climate_aliases().items())]
     print(format_table(["alias", "city"], alias_rows))
+    return 0
+
+
+def _open_store(path):
+    from repro.store import PolicyStore
+
+    return PolicyStore(path) if path else PolicyStore()
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    from repro.weather.climates import get_climate
+
+    store = _open_store(args.store)
+    # Store paths use canonical city names; accept descriptor aliases like
+    # every other subcommand.
+    city = _resolve(get_climate, args.climate).name if args.climate else None
+    if args.prune_keep is not None:
+        removed = _resolve(
+            store.prune, keep=args.prune_keep, city=city, season=args.season
+        )
+        print(f"Pruned {len(removed)} artifact(s) from {store.root}")
+    if args.verify:
+        report = store.verify()
+        bad = [name for name, ok in report.items() if not ok]
+        print(f"Integrity: {len(report) - len(bad)}/{len(report)} artifacts OK")
+        for name in bad:
+            print(f"  CORRUPT: {name}")
+    from repro.store import StoreEntry
+
+    entries = store.entries(city=city, season=args.season)
+    if not entries:
+        print(f"No stored policies under {store.root}")
+        return 0
+    print(format_table(StoreEntry.ROW_HEADER, [entry.as_row() for entry in entries]))
+    return 0
+
+
+#: Plausible sampling ranges for the Table-1 observation vector, used to
+#: synthesise a serving request stream (zone temp, outdoor temp, humidity,
+#: wind, solar, occupants).
+_OBSERVATION_RANGES = [(10.0, 35.0), (-20.0, 40.0), (0.0, 100.0), (0.0, 15.0), (0.0, 1000.0), (0.0, 60.0)]
+
+
+def _synthetic_observations(rng, rows: int, dim: int):
+    import numpy as np
+
+    if dim == len(_OBSERVATION_RANGES):
+        low, high = (np.array(r) for r in zip(*_OBSERVATION_RANGES))
+    else:
+        low, high = -10.0, 40.0
+    return rng.uniform(low, high, size=(rows, dim))
+
+
+def _ensure_store_policy(store, args) -> None:
+    """Extract (and persist) a tiny verified policy when the store is empty."""
+    from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+    from repro.weather.climates import get_climate
+
+    city = _resolve(get_climate, args.climate).name
+    overrides: Dict = {"city": city, "seed": args.seed, "season": args.season}
+    if args.decision_data is not None:
+        overrides["num_decision_data"] = args.decision_data
+    config = _resolve(PipelineConfig.tiny, **overrides)
+    print(f"Store {store.root} has no matching policy; extracting a tiny one...")
+    result = VerifiedPolicyPipeline(config, store=store).run()
+    print(f"Stored policy {result.store_key}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.serving import PolicyRequest, PolicyServer
+
+    if args.requests <= 0:
+        raise CLIError("--requests must be positive")
+    if args.batch_size <= 0:
+        raise CLIError("--batch-size must be positive")
+    store = _open_store(args.store)
+    if not store.entries():
+        _ensure_store_policy(store, args)
+    server = _resolve(PolicyServer, store=store, cache_size=args.cache_size)
+    policy_ids = [entry.key.name for entry in store.entries()]
+    dim = server.resolve(policy_ids[0]).n_features
+
+    rng = np.random.default_rng(args.seed)
+    observations = _synthetic_observations(rng, args.requests, dim)
+    # Interleave buildings round-robin so every batch mixes policies — the
+    # grouping inside PolicyServer.serve is what keeps this vectorised.
+    assigned = [policy_ids[i % len(policy_ids)] for i in range(args.requests)]
+
+    served = 0
+    start = time.perf_counter()
+    while served < args.requests:
+        batch = [
+            PolicyRequest(policy_id=assigned[i], observation=observations[i])
+            for i in range(served, min(served + args.batch_size, args.requests))
+        ]
+        server.serve(batch)
+        served += len(batch)
+    wall = time.perf_counter() - start
+
+    stats = server.stats.to_dict()
+    summary = {
+        "requests": served,
+        "batch_size": args.batch_size,
+        "policies": len(policy_ids),
+        "wall_seconds": wall,
+        "requests_per_second": served / wall if wall > 0 else float("inf"),
+        "server_stats": stats,
+    }
+    print(
+        format_table(
+            ["requests", "policies", "batch", "wall s", "req/s"],
+            [[served, len(policy_ids), args.batch_size, round(wall, 4),
+              round(summary["requests_per_second"], 1)]],
+        )
+    )
+    if args.output:
+        save_json(to_jsonable(summary), args.output)
+        print(f"Wrote {args.output}")
     return 0
 
 
@@ -250,10 +379,88 @@ def _bench_distill(args: argparse.Namespace) -> Dict:
     }
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
-    payload = to_jsonable(
-        _bench_distill(args) if args.target == "distill" else _bench_rollout(args)
+def _bench_serve(args: argparse.Namespace) -> Dict:
+    """Compiled-serving benchmark: predict_batch vs per-row python + store cache hit.
+
+    Runs a tiny extract-verify pipeline into a scratch store (timing the cold
+    run), re-resolves the same configuration (timing the pure cache hit),
+    then measures recursive per-row traversal against the compiled
+    ``predict_batch`` on an identical input batch and checks the actions are
+    exactly equal.
+    """
+    import tempfile
+    import time
+
+    import numpy as np
+
+    from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+    from repro.serving import PolicyRequest, PolicyServer
+    from repro.store import PolicyStore
+    from repro.weather.climates import get_climate
+
+    city = _resolve(get_climate, args.climate).name
+    config = _resolve(
+        PipelineConfig.tiny, city=city, seed=args.seed, season=args.season
     )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as scratch:
+        store = PolicyStore(scratch)
+        start = time.perf_counter()
+        cold = VerifiedPolicyPipeline(config, store=store).run()
+        extract_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = VerifiedPolicyPipeline(config, store=store).run()
+        store_hit_seconds = time.perf_counter() - start
+
+        policy = warm.policy
+        compiled = policy.compiled()
+        rng = np.random.default_rng(args.seed)
+        inputs = _synthetic_observations(rng, args.rows, policy.input_dim)
+
+        start = time.perf_counter()
+        recursive = policy.predict_action_indices(inputs)
+        recursive_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = compiled.predict_batch(inputs)
+        compiled_seconds = time.perf_counter() - start
+
+        # End-to-end front door: request objects + grouping + response objects.
+        server = PolicyServer(store=store, cache_size=4)
+        policy_id = store.entries()[0].key.name
+        requests = [
+            PolicyRequest(policy_id=policy_id, observation=row) for row in inputs
+        ]
+        start = time.perf_counter()
+        for offset in range(0, len(requests), 512):
+            server.serve(requests[offset : offset + 512])
+        server_seconds = time.perf_counter() - start
+
+    return {
+        "benchmark": "serve",
+        "rows": args.rows,
+        "tree_nodes": policy.node_count,
+        "tree_leaves": policy.leaf_count,
+        "tree_depth": policy.depth,
+        "actions_identical": bool(np.array_equal(recursive, batched)),
+        "recursive_rows_per_second": args.rows / max(recursive_seconds, 1e-12),
+        "compiled_rows_per_second": args.rows / max(compiled_seconds, 1e-12),
+        "speedup": recursive_seconds / max(compiled_seconds, 1e-12),
+        "server_requests_per_second": args.rows / max(server_seconds, 1e-12),
+        "extract_seconds": extract_seconds,
+        "store_hit_seconds": store_hit_seconds,
+        "cache_hit": bool(warm.cache_hit),
+        "cache_speedup": extract_seconds / max(store_hit_seconds, 1e-12),
+    }
+
+
+_BENCH_TARGETS = {
+    "rollout": _bench_rollout,
+    "distill": _bench_distill,
+    "serve": _bench_serve,
+}
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    payload = to_jsonable(_BENCH_TARGETS[args.target](args))
     print(json.dumps(payload, indent=2))
     if args.output:
         save_json(payload, args.output)
@@ -315,6 +522,19 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--print-tree", action="store_true")
     extract.add_argument("--max-print-depth", type=int, default=4)
     extract.add_argument("--save", default=None, help="write the verified policy JSON here")
+    extract.add_argument(
+        "--store",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="persist to (and resolve from) the policy store; optional custom root",
+    )
+    extract.add_argument(
+        "--refresh",
+        action="store_true",
+        help="force re-extraction even when the store already has this configuration",
+    )
     extract.set_defaults(func=cmd_extract)
 
     agents = sub.add_parser("agents", help="list registered agents")
@@ -328,14 +548,45 @@ def build_parser() -> argparse.ArgumentParser:
     climates = sub.add_parser("climates", help="list climate profiles and aliases")
     climates.set_defaults(func=cmd_climates)
 
+    policies = sub.add_parser("policies", help="list/prune/verify the policy store")
+    policies.add_argument("--store", default=None, metavar="PATH", help="store root (default: $REPRO_POLICY_STORE or ~/.cache/repro/policy-store)")
+    policies.add_argument("--climate", default=None, help="filter by city")
+    policies.add_argument("--season", default=None, choices=["winter", "summer"])
+    policies.add_argument(
+        "--prune-keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="delete all but the N newest matching artifacts",
+    )
+    policies.add_argument("--verify", action="store_true", help="integrity-check every artifact")
+    policies.set_defaults(func=cmd_policies)
+
+    serve = sub.add_parser(
+        "serve", help="drive the compiled policy server with a synthetic request stream"
+    )
+    serve.add_argument("--store", default=None, metavar="PATH", help="policy store root")
+    serve.add_argument("--requests", type=int, default=10000, help="total requests to serve")
+    serve.add_argument("--batch-size", type=int, default=256, help="requests per server batch")
+    serve.add_argument("--cache-size", type=int, default=8, help="compiled-policy LRU size")
+    serve.add_argument("--climate", default="pittsburgh", help="city for auto-extraction")
+    serve.add_argument("--season", default="winter", choices=["winter", "summer"])
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--decision-data", type=int, default=None, help="decision-dataset size for auto-extraction"
+    )
+    serve.add_argument("--output", default=None, help="write the throughput summary JSON here")
+    serve.set_defaults(func=cmd_serve)
+
     bench = sub.add_parser(
-        "bench", help="time a rollout or the MC distillation, write a benchmark JSON"
+        "bench",
+        help="time rollouts, MC distillation or policy serving, write a benchmark JSON",
     )
     bench.add_argument(
         "--target",
         default="rollout",
-        choices=["rollout", "distill"],
-        help="what to benchmark: environment rollouts or decision-dataset distillation",
+        choices=["rollout", "distill", "serve"],
+        help="what to benchmark: rollouts, decision-dataset distillation or policy serving",
     )
     bench.add_argument("--agent", default="rule_based")
     bench.add_argument("--climate", default="pittsburgh")
@@ -359,6 +610,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--horizon", type=int, default=5, help="planning horizon (distill target)"
+    )
+    bench.add_argument(
+        "--rows", type=int, default=20000, help="request batch rows (serve target)"
     )
     bench.add_argument("--output", default=None)
     bench.set_defaults(func=cmd_bench)

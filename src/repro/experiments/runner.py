@@ -434,8 +434,15 @@ class ExperimentRunner:
 
         Per-episode metric accumulation mirrors :func:`run_episode` term by
         term (same additions, same order), so each row of the result is
-        bit-identical to running that episode alone.
+        bit-identical to running that episode alone.  Actions are collected
+        through :meth:`~repro.agents.base.BaseAgent.select_actions_batch`, so
+        agents with a vectorised fast path (``rule_based`` schedule plans,
+        ``dt`` compiled forests) decide for the whole chunk in array ops
+        instead of one python call per episode.
         """
+        agent_cls = type(agents[0])
+        if not all(type(agent) is agent_cls for agent in agents):
+            agent_cls = BaseAgent  # mixed chunk: per-episode reference path
         for episode_agent in agents:
             episode_agent.reset()
         batched = BatchedHVACEnvironment(environments)
@@ -456,13 +463,9 @@ class ExperimentRunner:
 
         start = time.perf_counter()
         for step in range(total):
-            actions = np.fromiter(
-                (
-                    episode_agent.select_action(observations[i], environments[i], step)
-                    for i, episode_agent in enumerate(agents)
-                ),
+            actions = np.asarray(
+                agent_cls.select_actions_batch(agents, observations, environments, step),
                 dtype=np.int64,
-                count=batch,
             )
             result = batched.step(actions)
             info = result.info

@@ -1,0 +1,27 @@
+"""Compiled policy serving: flattened trees + the batched policy server.
+
+The deployment half of the policy store.  ``CompiledTreePolicy`` turns a
+verified :class:`~repro.core.tree_policy.TreePolicy` into contiguous numpy
+arrays with a vectorised ``predict_batch``; ``PolicyServer`` fronts a
+:class:`~repro.store.PolicyStore` with an LRU of compiled policies and
+batches concurrent requests across buildings.  Driven by ``repro serve``.
+"""
+
+from repro.serving.compiled import CompiledTreeForest, CompiledTreePolicy
+from repro.serving.server import (
+    PolicyRequest,
+    PolicyResponse,
+    PolicyServer,
+    ServerStats,
+    UnknownPolicyError,
+)
+
+__all__ = [
+    "CompiledTreeForest",
+    "CompiledTreePolicy",
+    "PolicyRequest",
+    "PolicyResponse",
+    "PolicyServer",
+    "ServerStats",
+    "UnknownPolicyError",
+]

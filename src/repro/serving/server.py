@@ -1,0 +1,175 @@
+"""The policy serving front door.
+
+:class:`PolicyServer` is the embeddable core of a setpoint service: it owns a
+:class:`~repro.store.PolicyStore`, keeps an LRU cache of
+:class:`~repro.serving.compiled.CompiledTreePolicy` instances keyed by store
+entry, and answers batches of :class:`PolicyRequest` objects that may mix any
+number of buildings.  Requests are grouped by policy so each distinct tree
+runs one vectorised ``predict_batch`` over all of its rows, no matter how the
+batch interleaves buildings — the serving analogue of the batched simulation
+backend.
+
+Transport (HTTP, MQTT, a BMS bridge) is deliberately out of scope: the
+related SCADA repos show that layer is deployment-specific, while the
+batching, caching and store-resolution logic below is what every deployment
+shares.  ``repro serve`` drives this class with a synthetic request stream to
+measure the serving ceiling.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.tree_policy import TreePolicy
+from repro.serving.compiled import CompiledTreePolicy
+from repro.store import PolicyStore, resolve_store
+
+
+@dataclass(frozen=True)
+class PolicyRequest:
+    """One setpoint query: which policy (building) and the current observation."""
+
+    policy_id: str
+    observation: Sequence[float]
+
+
+@dataclass(frozen=True)
+class PolicyResponse:
+    """The served decision for one request."""
+
+    policy_id: str
+    action_index: int
+    heating_setpoint: int
+    cooling_setpoint: int
+
+
+@dataclass
+class ServerStats:
+    """Operational counters (exposed by ``repro serve``)."""
+
+    requests: int = 0
+    batches: int = 0
+    compile_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    per_policy_requests: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "compile_count": self.compile_count,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "unique_policies": len(self.per_policy_requests),
+            "per_policy_requests": dict(self.per_policy_requests),
+        }
+
+
+class UnknownPolicyError(KeyError):
+    """The requested policy_id is neither registered nor in the store."""
+
+
+class PolicyServer:
+    """Batched, store-backed serving of compiled tree policies."""
+
+    def __init__(
+        self,
+        store: Union[PolicyStore, str, None] = None,
+        cache_size: int = 8,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
+        self.store = resolve_store(store if store is not None else True)
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[str, CompiledTreePolicy]" = OrderedDict()
+        self._registered: Dict[str, CompiledTreePolicy] = {}
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------ resolution
+    def register(
+        self, policy_id: str, policy: Union[TreePolicy, CompiledTreePolicy]
+    ) -> CompiledTreePolicy:
+        """Pin an in-memory policy under a name (bypasses the store and LRU)."""
+        compiled = (
+            policy
+            if isinstance(policy, CompiledTreePolicy)
+            else CompiledTreePolicy.from_policy(policy)
+        )
+        self._registered[policy_id] = compiled
+        return compiled
+
+    def policy_ids(self) -> List[str]:
+        """Every servable policy id: registered names plus store entries."""
+        ids = list(self._registered)
+        if self.store is not None:
+            ids.extend(entry.key.name for entry in self.store.entries())
+        return ids
+
+    def resolve(self, policy_id: str) -> CompiledTreePolicy:
+        """The compiled policy for an id — registered, cached, or store-loaded."""
+        registered = self._registered.get(policy_id)
+        if registered is not None:
+            return registered
+        cached = self._cache.get(policy_id)
+        if cached is not None:
+            self._cache.move_to_end(policy_id)
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        if self.store is None:
+            raise UnknownPolicyError(policy_id)
+        stored = self.store.find(policy_id)
+        if stored is None:
+            raise UnknownPolicyError(policy_id)
+        compiled = CompiledTreePolicy.from_policy(stored.policy)
+        self.stats.compile_count += 1
+        self._cache[policy_id] = compiled
+        if len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return compiled
+
+    # --------------------------------------------------------------- serving
+    def serve(self, requests: Sequence[PolicyRequest]) -> List[PolicyResponse]:
+        """Answer one batch of (possibly mixed-building) requests.
+
+        Rows are grouped by ``policy_id`` and each group runs a single
+        vectorised ``predict_batch``; responses come back in request order.
+        """
+        if not requests:
+            return []
+        groups: "OrderedDict[str, List[int]]" = OrderedDict()
+        for position, request in enumerate(requests):
+            groups.setdefault(request.policy_id, []).append(position)
+
+        responses: List[Optional[PolicyResponse]] = [None] * len(requests)
+        for policy_id, positions in groups.items():
+            compiled = self.resolve(policy_id)
+            inputs = np.array(
+                [requests[p].observation for p in positions], dtype=np.float64
+            )
+            actions = compiled.predict_batch(inputs)
+            pairs = compiled.action_pairs[actions]
+            for row, position in enumerate(positions):
+                responses[position] = PolicyResponse(
+                    policy_id=policy_id,
+                    action_index=int(actions[row]),
+                    heating_setpoint=int(pairs[row, 0]),
+                    cooling_setpoint=int(pairs[row, 1]),
+                )
+            tally = self.stats.per_policy_requests
+            tally[policy_id] = tally.get(policy_id, 0) + len(positions)
+        self.stats.requests += len(requests)
+        self.stats.batches += 1
+        return responses  # type: ignore[return-value]
+
+    def serve_one(self, policy_id: str, observation: Sequence[float]) -> PolicyResponse:
+        """Single-request convenience (a batch of one)."""
+        return self.serve([PolicyRequest(policy_id=policy_id, observation=observation)])[0]

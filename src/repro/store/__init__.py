@@ -1,0 +1,39 @@
+"""Persistent, content-addressed storage of verified tree policies.
+
+See :mod:`repro.store.store` for the artifact format and layout.  The usual
+entry points::
+
+    from repro.store import PolicyStore
+
+    store = PolicyStore()                      # default root (or $REPRO_POLICY_STORE)
+    result = VerifiedPolicyPipeline(cfg, store=store).run()   # writes through
+    policy = store.get_policy(cfg)             # later: pure cache hit
+"""
+
+from repro.store.store import (
+    ARTIFACT_KIND,
+    STORE_ENV_VAR,
+    STORE_SCHEMA_VERSION,
+    PolicyKey,
+    PolicyStore,
+    StoreEntry,
+    StoredPolicy,
+    StoreIntegrityError,
+    building_label,
+    default_store_root,
+    resolve_store,
+)
+
+__all__ = [
+    "ARTIFACT_KIND",
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA_VERSION",
+    "PolicyKey",
+    "PolicyStore",
+    "StoreEntry",
+    "StoredPolicy",
+    "StoreIntegrityError",
+    "building_label",
+    "default_store_root",
+    "resolve_store",
+]

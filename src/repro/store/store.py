@@ -1,0 +1,425 @@
+"""The content-addressed, versioned policy store.
+
+The paper's end product is a verified decision-tree policy deployed to a
+building — a *persistent artifact*, not something re-derived on every control
+query.  :class:`PolicyStore` is that persistence layer: every
+extract-verify-deploy run is filed under a deterministic :class:`PolicyKey`
+(city, season, building preset, seed, pipeline-config hash) as a
+schema-versioned JSON artifact carrying the policy, its verification report
+and integrity hashes.  A second run with an identical configuration resolves
+to the stored artifact instead of re-running the pipeline, and the serving
+subsystem (:mod:`repro.serving`) compiles policies straight out of the store.
+
+On-disk layout (one artifact per file, human-readable JSON)::
+
+    <root>/
+      <city>/<season>/<building>-seed<seed>-<hash12>.json
+
+Artifact envelope::
+
+    {
+      "schema_version": 1,
+      "kind": "verified-tree-policy",
+      "key": {city, season, building, seed, config_hash},
+      "content": {pipeline_config, policy, verification,
+                  fidelity, model_rmse, model_mae},
+      "provenance": {created_at, stage_seconds, repro_version},
+      "integrity": {algorithm, content_sha256, policy_sha256}
+    }
+
+``content_sha256`` covers exactly the ``content`` block (canonical JSON), so
+identical pipeline runs produce identical hashes regardless of wall-clock
+provenance, and :meth:`PolicyStore.get` detects any on-disk corruption or
+hand-editing before a policy reaches a building.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+import os
+
+from repro.core.verification import VerificationSummary
+from repro.utils.serialization import (
+    atomic_save_json,
+    content_hash,
+    load_json,
+    to_jsonable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.pipeline import PipelineConfig, PipelineResult
+    from repro.core.tree_policy import TreePolicy
+
+#: Version of the store artifact envelope.  Mismatching artifacts are refused.
+STORE_SCHEMA_VERSION = 1
+
+#: The ``kind`` tag every artifact carries.
+ARTIFACT_KIND = "verified-tree-policy"
+
+#: Environment variable overriding the default store root.
+STORE_ENV_VAR = "REPRO_POLICY_STORE"
+
+
+class StoreIntegrityError(RuntimeError):
+    """A stored artifact failed its integrity (or schema) validation."""
+
+
+def default_store_root() -> Path:
+    """The default on-disk store location (override with ``REPRO_POLICY_STORE``)."""
+    override = os.environ.get(STORE_ENV_VAR)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro" / "policy-store"
+
+
+def building_label(peak_occupants: int) -> str:
+    """Map a pipeline's occupancy level to the matching building preset name.
+
+    The pipeline is parameterised by ``peak_occupants`` while the scenario
+    grid names building variants; the store key uses the preset name when one
+    matches so store listings read like scenario names.
+    """
+    from repro.experiments.scenarios import BUILDINGS
+
+    for name, spec in BUILDINGS.items():
+        if spec.peak_occupants == int(peak_occupants):
+            return name
+    return f"occupants{int(peak_occupants)}"
+
+
+@dataclass(frozen=True)
+class PolicyKey:
+    """The deterministic identity of one stored policy.
+
+    ``config_hash`` is the SHA-256 of the *entire* canonical pipeline
+    configuration, so any knob change — optimizer samples, comfort thresholds,
+    tree depth — yields a distinct key even when the headline coordinates
+    (city, season, building, seed) coincide.
+    """
+
+    city: str
+    season: str
+    building: str
+    seed: int
+    config_hash: str
+
+    @classmethod
+    def from_config(cls, config: "PipelineConfig") -> "PolicyKey":
+        from dataclasses import asdict
+
+        return cls(
+            city=config.city,
+            season=config.season,
+            building=building_label(config.peak_occupants),
+            seed=int(config.seed),
+            config_hash=content_hash(asdict(config)),
+        )
+
+    @property
+    def key_id(self) -> str:
+        """Short human-readable identifier (unique: includes the config hash)."""
+        return f"{self.building}-seed{self.seed}-{self.config_hash[:12]}"
+
+    @property
+    def name(self) -> str:
+        """Full path-style name, ``city/season/key_id``."""
+        return f"{self.city}/{self.season}/{self.key_id}"
+
+    def relative_path(self) -> Path:
+        return Path(self.city) / self.season / f"{self.key_id}.json"
+
+    def to_dict(self) -> Dict:
+        return {
+            "city": self.city,
+            "season": self.season,
+            "building": self.building,
+            "seed": self.seed,
+            "config_hash": self.config_hash,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PolicyKey":
+        return cls(
+            city=str(data["city"]),
+            season=str(data["season"]),
+            building=str(data["building"]),
+            seed=int(data["seed"]),
+            config_hash=str(data["config_hash"]),
+        )
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Metadata view of one stored artifact (no policy deserialisation)."""
+
+    key: PolicyKey
+    path: Path
+    created_at: str
+    content_sha256: str
+    policy_sha256: str
+    tree_nodes: int
+    tree_leaves: int
+    verified: bool
+    fidelity: float
+
+    def as_row(self) -> List:
+        """One row of the ``repro policies`` listing."""
+        return [
+            self.key.name,
+            self.tree_nodes,
+            self.tree_leaves,
+            self.verified,
+            round(self.fidelity, 4),
+            self.created_at,
+            self.policy_sha256[:12],
+        ]
+
+    #: Header matching :meth:`as_row`.
+    ROW_HEADER = ["policy", "nodes", "leaves", "verified", "fidelity", "created", "sha256"]
+
+
+@dataclass
+class StoredPolicy:
+    """A fully deserialised store artifact."""
+
+    entry: StoreEntry
+    policy: "TreePolicy"
+    verification: Optional[VerificationSummary]
+    pipeline_config: Dict
+    fidelity: float
+    model_rmse: float
+    model_mae: float
+    stage_seconds: Dict[str, float]
+
+
+def resolve_store(store: Union["PolicyStore", str, Path, bool, None]) -> Optional["PolicyStore"]:
+    """Coerce the polymorphic ``store`` argument used across the library.
+
+    ``None``/``False`` disable the store, ``True`` means "the default store",
+    a path opens a store rooted there, and an existing :class:`PolicyStore`
+    passes through.
+    """
+    if store is None or store is False:
+        return None
+    if store is True:
+        return PolicyStore()
+    if isinstance(store, PolicyStore):
+        return store
+    return PolicyStore(store)
+
+
+class PolicyStore:
+    """Content-addressed persistence for extracted+verified tree policies."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root).expanduser() if root is not None else default_store_root()
+
+    def __repr__(self) -> str:
+        return f"PolicyStore(root={str(self.root)!r})"
+
+    # ---------------------------------------------------------------- paths
+    def path_for(self, key: PolicyKey) -> Path:
+        return self.root / key.relative_path()
+
+    @staticmethod
+    def _as_key(key_or_config) -> PolicyKey:
+        if isinstance(key_or_config, PolicyKey):
+            return key_or_config
+        return PolicyKey.from_config(key_or_config)
+
+    # ------------------------------------------------------------------ put
+    def put(self, result: "PipelineResult") -> StoreEntry:
+        """Persist one pipeline result; returns the (content-hashed) entry.
+
+        Writing is idempotent: the same result always lands at the same path
+        with the same content hash, so re-running an identical pipeline only
+        refreshes provenance.
+        """
+        from repro import __version__
+
+        key = PolicyKey.from_config(result.config)
+        policy_payload = to_jsonable(result.policy.to_dict())
+        from dataclasses import asdict
+
+        content = {
+            "pipeline_config": to_jsonable(asdict(result.config)),
+            "policy": policy_payload,
+            "verification": to_jsonable(result.verification),
+            "fidelity": float(result.fidelity),
+            "model_rmse": float(result.model_rmse),
+            "model_mae": float(result.model_mae),
+        }
+        artifact = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "kind": ARTIFACT_KIND,
+            "key": key.to_dict(),
+            "content": content,
+            "provenance": {
+                # Microsecond resolution: prune()'s newest-first ordering must
+                # distinguish artifacts written within the same second.
+                "created_at": datetime.now(timezone.utc).isoformat(timespec="microseconds"),
+                "stage_seconds": to_jsonable(result.stage_seconds),
+                "repro_version": __version__,
+            },
+            "integrity": {
+                "algorithm": "sha256",
+                "content_sha256": content_hash(content),
+                "policy_sha256": content_hash(policy_payload),
+            },
+        }
+        path = atomic_save_json(artifact, self.path_for(key))
+        return self._entry_from_artifact(artifact, path)
+
+    # ------------------------------------------------------------------ get
+    def get(self, key_or_config) -> Optional[StoredPolicy]:
+        """Load (and integrity-check) the artifact for a key or pipeline config.
+
+        Returns ``None`` on a miss; raises :class:`StoreIntegrityError` when
+        an artifact exists but fails schema or hash validation.
+        """
+        key = self._as_key(key_or_config)
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        return self._load(path)
+
+    def get_policy(self, key_or_config) -> Optional["TreePolicy"]:
+        """Convenience: just the deployable policy (or ``None`` on a miss)."""
+        stored = self.get(key_or_config)
+        return stored.policy if stored is not None else None
+
+    def contains(self, key_or_config) -> bool:
+        return self.path_for(self._as_key(key_or_config)).exists()
+
+    def find(self, name: str) -> Optional[StoredPolicy]:
+        """Look an artifact up by ``key_id`` or full ``city/season/key_id`` name.
+
+        Both forms map straight onto the on-disk layout (the ``key_id`` is
+        the file stem), so resolution is one stat / one glob — this sits on
+        the :class:`~repro.serving.server.PolicyServer` cache-miss path.
+        """
+        parts = [p for p in name.strip().split("/") if p]
+        if len(parts) == 3:
+            path = self.root / parts[0] / parts[1] / f"{parts[2]}.json"
+            return self._load(path) if path.exists() else None
+        if len(parts) == 1 and self.root.exists():
+            matches = sorted(self.root.glob(f"*/*/{parts[0]}.json"))
+            if matches:
+                return self._load(matches[0])
+        return None
+
+    # ----------------------------------------------------------------- list
+    def entries(
+        self, city: Optional[str] = None, season: Optional[str] = None
+    ) -> List[StoreEntry]:
+        """Metadata for every stored artifact (optionally filtered), newest first."""
+        if not self.root.exists():
+            return []
+        pattern = f"{city or '*'}/{season or '*'}/*.json"
+        entries = []
+        for path in sorted(self.root.glob(pattern)):
+            try:
+                entries.append(self._entry_from_artifact(load_json(path), path))
+            except (ValueError, KeyError, OSError):
+                continue  # foreign or partial files never break a listing
+        entries.sort(key=lambda e: e.created_at, reverse=True)
+        return entries
+
+    # ---------------------------------------------------------------- prune
+    def delete(self, key_or_config) -> bool:
+        """Remove one artifact; returns whether anything was deleted."""
+        path = self.path_for(self._as_key(key_or_config))
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
+    def prune(
+        self,
+        keep: int = 0,
+        city: Optional[str] = None,
+        season: Optional[str] = None,
+    ) -> List[Path]:
+        """Delete all but the ``keep`` newest matching artifacts."""
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        doomed = self.entries(city=city, season=season)[keep:]
+        for entry in doomed:
+            entry.path.unlink(missing_ok=True)
+        return [entry.path for entry in doomed]
+
+    def verify(self) -> Dict[str, bool]:
+        """Integrity-check every artifact; maps artifact name -> ok."""
+        report: Dict[str, bool] = {}
+        for entry in self.entries():
+            try:
+                self._load(entry.path)
+                report[entry.key.name] = True
+            except (StoreIntegrityError, ValueError, KeyError):
+                # Hash-valid but undeserialisable (e.g. a policy/tree schema
+                # bump) counts as corrupt; one bad artifact must not stop the
+                # sweep.
+                report[entry.key.name] = False
+        return report
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _entry_from_artifact(artifact: Dict, path: Path) -> StoreEntry:
+        if artifact.get("kind") != ARTIFACT_KIND:
+            raise ValueError(f"{path} is not a policy-store artifact")
+        verification = artifact["content"].get("verification") or {}
+        formal = verification.get("formal_report") or {}
+        verified = bool(
+            verification.get("criterion_1_passed")
+            and formal.get("violations_criterion_2", 0) == formal.get("corrected_criterion_2", 0)
+            and formal.get("violations_criterion_3", 0) == formal.get("corrected_criterion_3", 0)
+        )
+        return StoreEntry(
+            key=PolicyKey.from_dict(artifact["key"]),
+            path=path,
+            created_at=str(artifact.get("provenance", {}).get("created_at", "")),
+            content_sha256=str(artifact["integrity"]["content_sha256"]),
+            policy_sha256=str(artifact["integrity"]["policy_sha256"]),
+            tree_nodes=int(verification.get("total_nodes", 0)),
+            tree_leaves=int(verification.get("leaf_nodes", 0)),
+            verified=verified,
+            fidelity=float(artifact["content"].get("fidelity", 0.0)),
+        )
+
+    def _load(self, path: Path) -> StoredPolicy:
+        from repro.core.tree_policy import TreePolicy
+
+        artifact = load_json(path)
+        version = artifact.get("schema_version")
+        if version != STORE_SCHEMA_VERSION:
+            raise StoreIntegrityError(
+                f"{path}: unsupported store schema_version {version!r} "
+                f"(this build reads version {STORE_SCHEMA_VERSION})"
+            )
+        if artifact.get("kind") != ARTIFACT_KIND:
+            raise StoreIntegrityError(f"{path}: unexpected artifact kind {artifact.get('kind')!r}")
+        content = artifact["content"]
+        integrity = artifact.get("integrity", {})
+        actual = content_hash(content)
+        if actual != integrity.get("content_sha256"):
+            raise StoreIntegrityError(
+                f"{path}: content hash mismatch — stored "
+                f"{integrity.get('content_sha256')!r}, recomputed {actual!r}. "
+                "The artifact is corrupt or was edited by hand; delete and re-extract."
+            )
+        entry = self._entry_from_artifact(artifact, path)
+        verification = content.get("verification")
+        return StoredPolicy(
+            entry=entry,
+            policy=TreePolicy.from_dict(content["policy"]),
+            verification=VerificationSummary.from_dict(verification) if verification else None,
+            pipeline_config=dict(content.get("pipeline_config", {})),
+            fidelity=float(content.get("fidelity", 0.0)),
+            model_rmse=float(content.get("model_rmse", float("nan"))),
+            model_mae=float(content.get("model_mae", float("nan"))),
+            stage_seconds=dict(artifact.get("provenance", {}).get("stage_seconds", {})),
+        )

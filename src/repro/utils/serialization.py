@@ -7,7 +7,10 @@ and a policy file a building manager can open in a text editor is part of that.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Union
 
@@ -50,3 +53,40 @@ def load_json(path: Union[str, Path]) -> Any:
     """Load JSON from ``path``."""
     with Path(path).open("r", encoding="utf-8") as fh:
         return json.load(fh)
+
+
+def canonical_json(obj: Any) -> str:
+    """A canonical (sorted-key, minimal-separator) JSON rendering of ``obj``.
+
+    Two structurally equal objects always produce byte-identical strings, which
+    is what makes content hashes of policy artifacts deterministic.
+    """
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def atomic_save_json(obj: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Like :func:`save_json` but atomic: readers never see a partial file.
+
+    The payload is written to a temporary sibling and renamed into place, so a
+    concurrent :class:`~repro.store.PolicyStore` reader either sees the old
+    artifact or the complete new one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(to_jsonable(obj), fh, indent=indent, sort_keys=False)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

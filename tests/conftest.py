@@ -4,9 +4,30 @@
 checkout works either way.
 """
 
+import os
 import sys
 from pathlib import Path
+
+import pytest
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_policy_store(tmp_path_factory):
+    """Point the default policy store at a session-temporary directory.
+
+    The ``dt`` agent persists extracted policies by default; tests must not
+    write to (or read stale artifacts from) the user's real store.
+    """
+    from repro.store import STORE_ENV_VAR
+
+    previous = os.environ.get(STORE_ENV_VAR)
+    os.environ[STORE_ENV_VAR] = str(tmp_path_factory.mktemp("policy-store"))
+    yield
+    if previous is None:
+        os.environ.pop(STORE_ENV_VAR, None)
+    else:
+        os.environ[STORE_ENV_VAR] = previous

@@ -267,3 +267,56 @@ def test_batched_backend_requires_agent_name():
 def test_runner_rejects_unknown_backend():
     with pytest.raises(ValueError, match="Unknown backend"):
         ExperimentRunner("pittsburgh/winter", backend="quantum")
+
+
+# ----------------------------------------------------- agent-side batching
+def test_rule_based_action_plan_matches_select_action():
+    env = get_scenario("pittsburgh/winter", days=2).build_environment(seed=3)
+    agent = RuleBasedAgent.from_config(env)
+    plan = agent.action_plan(env)
+    assert len(plan) == env.num_steps
+    observation, _ = env.reset()
+    for step in range(env.num_steps):
+        assert plan[step] == agent.select_action(observation, env, step), step
+
+
+def test_rule_based_plan_respects_preheat_and_margin():
+    env = get_scenario("tucson/summer", days=1).build_environment(seed=4)
+    agent = RuleBasedAgent.from_config(env, preheat_hours=2.5, setback_margin=0.5)
+    plan = agent.action_plan(env)
+    reference = [agent.select_action(None, env, step) for step in range(env.num_steps)]
+    assert plan.tolist() == reference
+
+
+def test_select_actions_batch_default_matches_per_episode():
+    from repro.agents.base import BaseAgent
+    from repro.agents import make_agent
+
+    spec = get_scenario("pittsburgh/winter", days=1)
+    seeds = [1, 2, 3]
+    environments = [spec.build_environment(seed=s) for s in seeds]
+    agents = [make_agent("random", environment=e, seed=s) for e, s in zip(environments, seeds)]
+    observations = np.stack([env.reset()[0] for env in environments])
+    # The default implementation consumes each agent's RNG exactly like the
+    # per-episode loop would; rebuild to compare the streams.
+    batch = BaseAgent.select_actions_batch(agents, observations, environments, 0)
+    rebuilt = [make_agent("random", environment=e, seed=s) for e, s in zip(environments, seeds)]
+    reference = [a.select_action(observations[i], environments[i], 0) for i, a in enumerate(rebuilt)]
+    assert batch.tolist() == reference
+
+
+def test_dt_batched_backend_matches_serial():
+    pipeline = {
+        "num_decision_data": 48,
+        "training_epochs": 5,
+        "optimizer_samples": 32,
+        "num_probabilistic_samples": 64,
+    }
+    kwargs = dict(episodes=2, base_seed=5, max_steps=48)
+    serial = ExperimentRunner("pittsburgh/winter", **kwargs).run(
+        "dt", agent_config={"pipeline": pipeline}
+    )
+    batched = ExperimentRunner("pittsburgh/winter", backend="batched", **kwargs).run(
+        "dt", agent_config={"pipeline": pipeline}
+    )
+    assert _strip_timing(batched) == _strip_timing(serial)

@@ -1,0 +1,220 @@
+"""Policy store: deterministic keys, round-trips, integrity, pipeline caching."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+from repro.store import (
+    PolicyKey,
+    PolicyStore,
+    StoreIntegrityError,
+    building_label,
+)
+
+TINY = dict(
+    historical_days=2,
+    hidden_sizes=(16,),
+    training_epochs=8,
+    optimizer_samples=32,
+    planning_horizon=4,
+    num_decision_data=48,
+    monte_carlo_runs=2,
+    num_probabilistic_samples=64,
+)
+
+
+@pytest.fixture(scope="module")
+def config() -> PipelineConfig:
+    return PipelineConfig.tiny(seed=11, **TINY)
+
+
+@pytest.fixture(scope="module")
+def result(config):
+    return VerifiedPolicyPipeline(config).run()
+
+
+@pytest.fixture()
+def store(tmp_path) -> PolicyStore:
+    return PolicyStore(tmp_path / "store")
+
+
+# ------------------------------------------------------------------- keys
+def test_key_is_deterministic(config):
+    a = PolicyKey.from_config(config)
+    b = PolicyKey.from_config(config)
+    assert a == b
+    assert a.key_id == b.key_id
+    assert a.name == f"{config.city}/{config.season}/{a.key_id}"
+
+
+def test_key_tracks_every_config_knob(config):
+    base = PolicyKey.from_config(config)
+    assert PolicyKey.from_config(config.with_overrides(seed=12)) != base
+    # Headline coordinates identical, deep knob changed -> hash still differs.
+    deep = PolicyKey.from_config(config.with_overrides(optimizer_samples=33))
+    assert (deep.city, deep.season, deep.seed) == (base.city, base.season, base.seed)
+    assert deep.config_hash != base.config_hash
+
+
+def test_building_label_roundtrip():
+    assert building_label(24) == "office"
+    assert building_label(48) == "dense_office"
+    assert building_label(7) == "occupants7"
+
+
+# ------------------------------------------------------------- round trip
+def test_put_get_roundtrip(store, result):
+    entry = store.put(result)
+    stored = store.get(result.config)
+    assert stored is not None
+    assert stored.policy.to_dict() == result.policy.to_dict()
+    assert stored.fidelity == result.fidelity
+    assert stored.model_rmse == result.model_rmse
+    assert stored.verification.safe_probability == result.verification.safe_probability
+    assert (
+        stored.verification.formal_report.satisfied
+        == result.verification.formal_report.satisfied
+    )
+    assert stored.entry.policy_sha256 == entry.policy_sha256
+
+
+def test_put_is_idempotent_and_content_addressed(store, config, result):
+    first = store.put(result)
+    second = store.put(result)
+    assert first.path == second.path
+    assert first.content_sha256 == second.content_sha256
+    assert first.policy_sha256 == second.policy_sha256
+    assert len(store.entries()) == 1
+
+    # An independent run of the same config hashes identically (determinism).
+    rerun = VerifiedPolicyPipeline(config).run()
+    assert store.put(rerun).content_sha256 == first.content_sha256
+
+
+def test_entries_listing_and_filters(store, result, config):
+    store.put(result)
+    other = VerifiedPolicyPipeline(config.with_overrides(seed=12)).run()
+    store.put(other)
+    assert len(store.entries()) == 2
+    assert len(store.entries(city=config.city)) == 2
+    assert store.entries(city="nowhere") == []
+    assert store.contains(config)
+    found = store.find(PolicyKey.from_config(config).key_id)
+    assert found is not None and found.policy.to_dict() == result.policy.to_dict()
+
+
+def test_prune_and_delete(store, result, config):
+    store.put(result)
+    other = VerifiedPolicyPipeline(config.with_overrides(seed=12)).run()
+    store.put(other)
+    removed = store.prune(keep=1)
+    assert len(removed) == 1
+    assert len(store.entries()) == 1
+    assert store.delete(store.entries()[0].key) is True
+    assert store.entries() == []
+    assert store.delete(config) is False
+
+
+# -------------------------------------------------------------- integrity
+def test_tampered_artifact_fails_integrity(store, result):
+    entry = store.put(result)
+    artifact = json.loads(entry.path.read_text())
+    artifact["content"]["fidelity"] = 0.123456
+    entry.path.write_text(json.dumps(artifact))
+    with pytest.raises(StoreIntegrityError, match="hash mismatch"):
+        store.get(result.config)
+
+
+def test_schema_drift_fails_loudly(store, result):
+    entry = store.put(result)
+    artifact = json.loads(entry.path.read_text())
+    artifact["schema_version"] = 999
+    entry.path.write_text(json.dumps(artifact))
+    with pytest.raises(StoreIntegrityError, match="schema_version"):
+        store.get(result.config)
+
+
+def test_tree_and_policy_schema_versions_validated(result):
+    payload = result.policy.to_dict()
+    assert payload["schema_version"] == 1
+    assert payload["tree"]["schema_version"] == 1
+    from repro.core.tree_policy import TreePolicy
+
+    bad_policy = dict(payload, schema_version=99)
+    with pytest.raises(ValueError, match="policy schema_version 99"):
+        TreePolicy.from_dict(bad_policy)
+    bad_tree = dict(payload, tree=dict(payload["tree"], schema_version=99))
+    with pytest.raises(ValueError, match="tree schema_version 99"):
+        TreePolicy.from_dict(bad_tree)
+
+
+# ------------------------------------------------------- pipeline caching
+def test_pipeline_second_run_is_pure_cache_hit(store, config, monkeypatch):
+    first = VerifiedPolicyPipeline(config, store=store).run()
+    assert first.cache_hit is False
+    assert first.store_key is not None
+
+    # Any attempt to rebuild pipeline stages on the second run is a failure.
+    import repro.core.pipeline as pipeline_module
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("cache hit must not re-run pipeline stages")
+
+    monkeypatch.setattr(
+        pipeline_module.VerifiedPolicyPipeline, "collect_history", _boom
+    )
+    monkeypatch.setattr(
+        pipeline_module.VerifiedPolicyPipeline, "train_dynamics_model", _boom
+    )
+    second = VerifiedPolicyPipeline(config, store=store).run()
+    assert second.cache_hit is True
+    assert second.store_key == first.store_key
+    assert second.policy.to_dict() == first.policy.to_dict()
+    assert second.verified == first.verified
+    assert set(second.stage_seconds) == {"store_lookup"}
+
+
+def test_pipeline_refresh_forces_rerun(store, config):
+    first = VerifiedPolicyPipeline(config, store=store).run()
+    refreshed = VerifiedPolicyPipeline(config, store=store).run(refresh=True)
+    assert refreshed.cache_hit is False
+    assert refreshed.policy.to_dict() == first.policy.to_dict()  # determinism
+
+
+def test_dt_agent_resolves_from_store(store, config, monkeypatch):
+    from repro.agents import make_agent
+
+    overrides = dict(TINY, seed=11)
+    first = make_agent("dt", store=store, pipeline=overrides)
+    assert len(store.entries()) == 1
+
+    import repro.core.pipeline as pipeline_module
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("second make_agent must be a pure store hit")
+
+    monkeypatch.setattr(
+        pipeline_module.VerifiedPolicyPipeline, "collect_history", _boom
+    )
+    second = make_agent("dt", store=store, pipeline=overrides)
+    assert len(store.entries()) == 1
+    assert second.policy.to_dict() == first.policy.to_dict()
+
+
+def test_dt_agent_store_false_bypasses_persistence(store):
+    from repro.agents import make_agent
+
+    agent = make_agent("dt", store=False, pipeline=dict(TINY, seed=11))
+    assert store.entries() == []
+    assert agent.policy.leaf_count >= 1
+
+
+def test_cached_result_roundtrips_verification(store, config):
+    VerifiedPolicyPipeline(config, store=store).run()
+    cached = VerifiedPolicyPipeline(config, store=store).run()
+    summary = cached.summary_dict()
+    assert summary["cache_hit"] is True
+    assert summary["decision_data"] is None
+    assert np.isfinite(summary["model_rmse"])
