@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import inspect
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.agents.registry import register_agent
+from repro.data import ActionBatch, ObservationBatch
 from repro.env.hvac_env import HVACEnvironment
 from repro.utils.rng import RNGLike, ensure_rng
 
@@ -44,16 +45,20 @@ class BaseAgent:
     def select_actions_batch(
         cls,
         agents: Sequence["BaseAgent"],
-        observations: np.ndarray,
+        observations: Union[ObservationBatch, np.ndarray],
         environments: Sequence[HVACEnvironment],
         step: int,
-    ) -> np.ndarray:
-        """Actions for a batch of per-episode agents at one step.
+    ) -> ActionBatch:
+        """Actions for a batch of per-episode agents at one step, columnar.
 
         ``agents[i]`` controls ``environments[i]`` and sees
         ``observations[i]`` — the layout of the batched experiment backend,
         which pairs one agent instance with one environment so per-episode
-        seeding stays identical to the serial reference.
+        seeding stays identical to the serial reference.  ``observations``
+        is a columnar :class:`~repro.data.ObservationBatch` (a plain
+        ``(B, F)`` array also works) and the result is an
+        :class:`~repro.data.ActionBatch`, which numpy consumers can treat as
+        the underlying ``(B,)`` index array.
 
         The default walks ``select_action`` per episode, so every agent is
         batch-callable with unchanged semantics.  Agents whose decisions
@@ -64,13 +69,15 @@ class BaseAgent:
         Overrides must return exactly the actions the per-episode calls
         would — the batched backend's bit-identical contract depends on it.
         """
-        return np.fromiter(
-            (
-                agent.select_action(observations[i], environments[i], step)
-                for i, agent in enumerate(agents)
-            ),
-            dtype=np.int64,
-            count=len(agents),
+        return ActionBatch(
+            np.fromiter(
+                (
+                    agent.select_action(observations[i], environments[i], step)
+                    for i, agent in enumerate(agents)
+                ),
+                dtype=np.int64,
+                count=len(agents),
+            )
         )
 
     # -------------------------------------------------- registry construction

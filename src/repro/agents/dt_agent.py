@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.agents.base import BaseAgent
 from repro.agents.registry import register_agent
+from repro.data import ActionBatch
 from repro.env.hvac_env import HVACEnvironment
 from repro.utils.rng import RNGLike
 
@@ -80,7 +81,7 @@ class DecisionTreeAgent(BaseAgent):
         observations: np.ndarray,
         environments: Sequence[HVACEnvironment],
         step: int,
-    ) -> np.ndarray:
+    ) -> ActionBatch:
         """Compiled fast path: all episodes through one forest traversal."""
         from repro.serving.compiled import CompiledTreeForest
 
@@ -99,7 +100,7 @@ class DecisionTreeAgent(BaseAgent):
             lead._batch_forest_cache = cache
         _, forest, lookups = cache
         tree_actions = forest.predict_rows(np.asarray(observations, dtype=np.float64))
-        return lookups[np.arange(len(agents)), tree_actions]
+        return ActionBatch(lookups[np.arange(len(agents)), tree_actions])
 
     # ----------------------------------------------------------- construction
     @classmethod

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.agents.base import BaseAgent
 from repro.agents.registry import register_agent
+from repro.data import ActionBatch
 from repro.env.hvac_env import HVACEnvironment
 from repro.utils.config import ComfortConfig
 from repro.utils.rng import RNGLike
@@ -115,7 +116,7 @@ class RuleBasedAgent(BaseAgent):
         observations: np.ndarray,
         environments: Sequence[HVACEnvironment],
         step: int,
-    ) -> np.ndarray:
+    ) -> ActionBatch:
         """Vectorised batch path: one gather from the stacked action plans."""
         lead = agents[0]
         key = tuple(id(env) for env in environments)
@@ -127,4 +128,4 @@ class RuleBasedAgent(BaseAgent):
                 return super().select_actions_batch(agents, observations, environments, step)
             cache = (key, np.stack(plans))
             lead._batch_plan_cache = cache
-        return cache[1][:, step]
+        return ActionBatch(cache[1][:, step])

@@ -18,11 +18,12 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.sampling import AugmentedHistoricalSampler
+from repro.data import ActionBatch, ObservationBatch
 from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
 
 #: Index of the occupant-count feature inside the policy-input vector.
@@ -62,6 +63,17 @@ class DecisionDataset:
         """The (heating, cooling) pairs corresponding to each label, shape (n, 2)."""
         pairs = np.asarray(self.action_pairs, dtype=int)
         return pairs[self.action_labels]
+
+    # ------------------------------------------------------- columnar views
+    def observation_batch(self) -> ObservationBatch:
+        """The inputs as a columnar :class:`~repro.data.ObservationBatch` (no copy)."""
+        return ObservationBatch.from_rows(self.inputs)
+
+    def action_batch(self) -> ActionBatch:
+        """The labels as an :class:`~repro.data.ActionBatch` with resolved setpoints."""
+        return ActionBatch(self.action_labels).with_setpoints(
+            np.asarray(self.action_pairs, dtype=float)
+        )
 
     def subset(self, count: int, seed: RNGLike = None) -> "DecisionDataset":
         """A uniformly subsampled dataset of at most ``count`` entries.
@@ -146,7 +158,9 @@ class DecisionDatasetGenerator:
         return sorted(votes.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
 
     # ------------------------------------------------------------------- batch
-    def distill_decisions(self, inputs: np.ndarray, rng: RNGLike = None) -> np.ndarray:
+    def distill_decisions(
+        self, inputs: Union[np.ndarray, ObservationBatch], rng: RNGLike = None
+    ) -> np.ndarray:
         """Distil every input at once through the optimiser's batched planner.
 
         All ``num_inputs × monte_carlo_runs`` planning problems are flattened
@@ -155,6 +169,10 @@ class DecisionDatasetGenerator:
         per-problem generators are spawned from ``rng`` in exactly the order
         the serial loop consumes them, so labels are identical seed-for-seed
         to repeated :meth:`distill_decision` calls.
+
+        ``inputs`` may be a plain ``(n, 6)`` array or a columnar
+        :class:`~repro.data.ObservationBatch`; either way the whole path down
+        to the dynamics model is array ops on the columnar buffer.
         """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
         num_inputs = len(inputs)

@@ -90,6 +90,11 @@ class PipelineConfig:
     safe_probability_threshold: float = 0.9
     num_probabilistic_samples: int = 2000
     correct_failing_leaves: bool = True
+    # ---------------------------------------------------------- dtype policy
+    #: Inference dtype for the dynamics model during planning/distillation/
+    #: verification: "float64" is the bit-exact reference, "float32" the
+    #: opt-in BLAS fast path (training always runs in float64).
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         get_season(self.season)  # raises ValueError on an unknown season
@@ -97,6 +102,9 @@ class PipelineConfig:
             raise ValueError("historical_days must be positive")
         if self.num_decision_data <= 0:
             raise ValueError("num_decision_data must be positive")
+        from repro.data import resolve_float_dtype
+
+        resolve_float_dtype(self.dtype)  # raises ValueError on an unknown dtype
 
     # ------------------------------------------------------------- derived
     @property
@@ -409,6 +417,11 @@ class VerifiedPolicyPipeline:
             dynamics_model, rmse, mae = self.train_dynamics_model(historical_data, model_rng)
         else:
             rmse, mae = dynamics_model.evaluate(historical_data)
+        # The dtype policy applies to everything downstream of training
+        # (planning, distillation, verification); the held-out RMSE/MAE above
+        # is always evaluated in the float64 reference.
+        if hasattr(dynamics_model, "set_inference_dtype"):
+            dynamics_model.set_inference_dtype(cfg.dtype)
         stage_seconds["dynamics_model"] = time.perf_counter() - start
 
         start = time.perf_counter()

@@ -1,0 +1,35 @@
+"""Columnar data plane: the typed struct-of-arrays batches every layer speaks.
+
+``repro.data`` owns the schema types that flow across layer boundaries —
+environment to agent, agent to runner, client to policy server — plus the
+float dtype policy (``float64`` reference, ``float32`` fast path).  See
+:mod:`repro.data.schema` for the full story.
+"""
+
+from repro.data.schema import (
+    FLOAT_DTYPE_NAMES,
+    FLOAT_DTYPES,
+    OBSERVATION_FEATURES,
+    ActionBatch,
+    ColumnSpec,
+    ColumnarBatch,
+    InfoBatch,
+    ObservationBatch,
+    PolicyRequestBatch,
+    PolicyResponseBatch,
+    resolve_float_dtype,
+)
+
+__all__ = [
+    "FLOAT_DTYPE_NAMES",
+    "FLOAT_DTYPES",
+    "OBSERVATION_FEATURES",
+    "ActionBatch",
+    "ColumnSpec",
+    "ColumnarBatch",
+    "InfoBatch",
+    "ObservationBatch",
+    "PolicyRequestBatch",
+    "PolicyResponseBatch",
+    "resolve_float_dtype",
+]

@@ -21,13 +21,14 @@ this in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.buildings.hvac import BatchedHVACPlant
 from repro.buildings.thermal import OCCUPANT_GAIN_W
+from repro.data import ActionBatch, InfoBatch, ObservationBatch
 from repro.env.hvac_env import HVACEnvironment
 
 
@@ -35,23 +36,23 @@ from repro.env.hvac_env import HVACEnvironment
 class BatchedEnvironmentStep:
     """The result of stepping every episode of the batch once.
 
-    ``info`` holds one array of length ``B`` per scalar info key of the serial
-    environment (plus the scalar ``step``), keeping the hot path free of
-    per-episode dict construction.
+    ``observations`` is a columnar :class:`~repro.data.ObservationBatch` and
+    ``info`` an :class:`~repro.data.InfoBatch` — one typed ``(B,)`` column per
+    scalar info key of the serial environment (plus the scalar ``step``) —
+    keeping the hot path free of per-episode dict construction.  Both support
+    the legacy protocols (``np.asarray``, row indexing, ``info["key"]``), so
+    existing consumers keep working unchanged.
     """
 
-    observations: np.ndarray
+    observations: ObservationBatch
     rewards: np.ndarray
     terminated: bool
     truncated: bool
-    info: Dict[str, Union[int, np.ndarray]] = field(default_factory=dict)
+    info: InfoBatch
 
     def episode_info(self, index: int) -> Dict[str, float]:
         """Materialise the serial-style info dict of one episode (diagnostics)."""
-        out: Dict[str, float] = {}
-        for key, value in self.info.items():
-            out[key] = value if np.isscalar(value) else float(np.asarray(value)[index])
-        return out
+        return self.info.episode_info(index)
 
 
 def _stacked_disturbances(environment: HVACEnvironment) -> np.ndarray:
@@ -192,30 +193,39 @@ class BatchedHVACEnvironment:
     def controlled_zone_temperatures(self) -> np.ndarray:
         return self._temperatures[:, self._controlled_index].copy()
 
-    def observations(self) -> np.ndarray:
-        """Stacked ``(B, 6)`` Table-1 observation vectors."""
+    def observations(self) -> ObservationBatch:
+        """Stacked ``(B, 6)`` Table-1 observation vectors, columnar."""
         disturbance = self._disturbances[:, self._step_index % self.num_steps, :]
-        return np.column_stack(
-            [self._temperatures[:, self._controlled_index], disturbance]
+        return ObservationBatch(
+            np.column_stack(
+                [self._temperatures[:, self._controlled_index], disturbance]
+            )
         )
 
     # ------------------------------------------------------------------ reset
-    def reset(self) -> Tuple[np.ndarray, Dict[str, Union[int, np.ndarray]]]:
+    def reset(self) -> Tuple[ObservationBatch, InfoBatch]:
         """Reset every episode to its initial state."""
         self._step_index = 0
         self._temperatures = np.repeat(
             self._initial_temperature[:, np.newaxis], self._temperatures.shape[1], axis=1
         )
-        info = {
-            "step": 0,
-            "hour_of_day": self._hours[:, 0].copy(),
-            "occupied": self._occupied[:, 0].astype(float),
-        }
+        info = InfoBatch(
+            step=0,
+            hour_of_day=self._hours[:, 0].copy(),
+            occupied=self._occupied[:, 0].astype(float),
+        )
         return self.observations(), info
 
     # ------------------------------------------------------------------- step
-    def step(self, actions: Union[np.ndarray, Sequence]) -> BatchedEnvironmentStep:
-        """Apply one setpoint action per episode and advance every plant."""
+    def step(
+        self, actions: Union[ActionBatch, np.ndarray, Sequence]
+    ) -> BatchedEnvironmentStep:
+        """Apply one setpoint action per episode and advance every plant.
+
+        ``actions`` is ideally a columnar :class:`~repro.data.ActionBatch`
+        (the agents' batched fast paths produce one); a plain ``(B,)`` index
+        array or ``(B, 2)`` setpoint array keeps working.
+        """
         step = self._step_index
         if step >= self.num_steps:
             raise RuntimeError("Episodes are over; call reset() before stepping again")
@@ -267,28 +277,28 @@ class BatchedHVACEnvironment:
         self._step_index += 1
         truncated = self._step_index >= self.num_steps
         obs_step = self._step_index if not truncated else self._step_index - 1
-        observation = np.column_stack(
-            [zone_temperature, self._disturbances[:, obs_step, :]]
+        observation = ObservationBatch(
+            np.column_stack([zone_temperature, self._disturbances[:, obs_step, :]])
         )
 
         joules_to_kwh = 1.0 / 3.6e6
         comfort_ok = (self._comfort_lower <= zone_temperature) & (
             zone_temperature <= self._comfort_upper
         )
-        info: Dict[str, Union[int, np.ndarray]] = {
-            "step": step,
-            "hour_of_day": self._hours[:, step].copy(),
-            "occupied": occupied.astype(float),
-            "heating_setpoint": heating.astype(float),
-            "cooling_setpoint": cooling.astype(float),
-            "zone_temperature": zone_temperature.copy(),
-            "hvac_electric_energy_kwh": electric_j * joules_to_kwh,
-            "heating_energy_kwh": heating_j * joules_to_kwh,
-            "cooling_energy_kwh": cooling_j * joules_to_kwh,
-            "energy_proxy": energy_proxy,
-            "comfort_violation": comfort_violation,
-            "comfort_violated": (occupied & ~comfort_ok).astype(float),
-        }
+        info = InfoBatch(
+            step=step,
+            hour_of_day=self._hours[:, step].copy(),
+            occupied=occupied.astype(float),
+            heating_setpoint=heating.astype(float),
+            cooling_setpoint=cooling.astype(float),
+            zone_temperature=zone_temperature.copy(),
+            hvac_electric_energy_kwh=electric_j * joules_to_kwh,
+            heating_energy_kwh=heating_j * joules_to_kwh,
+            cooling_energy_kwh=cooling_j * joules_to_kwh,
+            energy_proxy=energy_proxy,
+            comfort_violation=comfort_violation,
+            comfort_violated=(occupied & ~comfort_ok).astype(float),
+        )
         return BatchedEnvironmentStep(
             observations=observation,
             rewards=rewards,
@@ -298,8 +308,16 @@ class BatchedHVACEnvironment:
         )
 
     # ---------------------------------------------------------------- helpers
-    def _resolve_actions(self, actions: Union[np.ndarray, Sequence]) -> Tuple[np.ndarray, np.ndarray]:
+    def _resolve_actions(
+        self, actions: Union[ActionBatch, np.ndarray, Sequence]
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Map per-episode actions to (heating, cooling) setpoint arrays."""
+        if isinstance(actions, ActionBatch):
+            # Columnar batches resolve through their index column — any
+            # attached setpoint columns are informational here, because only
+            # the index path applies the validation/clipping the serial
+            # reference environment guarantees.
+            actions = actions.indices
         actions = np.asarray(actions)
         if actions.ndim == 1 and np.issubdtype(actions.dtype, np.integer):
             if len(actions) != self.batch_size:

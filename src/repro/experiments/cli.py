@@ -16,7 +16,9 @@ Examples::
     python -m repro run --agent rule_based --climate pittsburgh --steps 96
     python -m repro run --agent dt --climate hot_humid --season summer
     python -m repro extract --climate tucson --preset tiny --save policy.json
-    python -m repro serve --requests 100000 --batch-size 512
+    python -m repro extract --preset tiny --dtype float32
+    python -m repro serve --requests 100000 --batch-size 512 --columnar
+    python -m repro bench --target serve-columnar --rows 100000
     python -m repro policies --verify
 """
 
@@ -97,6 +99,8 @@ def cmd_extract(args: argparse.Namespace) -> int:
     overrides: Dict = {"city": city, "seed": args.seed, "season": args.season}
     if args.decision_data is not None:
         overrides["num_decision_data"] = args.decision_data
+    if args.dtype is not None:
+        overrides["dtype"] = args.dtype
     if args.preset == "tiny":
         config = _resolve(PipelineConfig.tiny, **overrides)
     else:
@@ -234,7 +238,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.serving import PolicyRequest, PolicyServer
+    from repro.serving import PolicyRequest, PolicyRequestBatch, PolicyServer
 
     if args.requests <= 0:
         raise CLIError("--requests must be positive")
@@ -250,24 +254,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     observations = _synthetic_observations(rng, args.requests, dim)
     # Interleave buildings round-robin so every batch mixes policies — the
-    # grouping inside PolicyServer.serve is what keeps this vectorised.
-    assigned = [policy_ids[i % len(policy_ids)] for i in range(args.requests)]
+    # per-policy grouping inside the server is what keeps this vectorised.
+    assigned = np.array([policy_ids[i % len(policy_ids)] for i in range(args.requests)])
 
     served = 0
     start = time.perf_counter()
-    while served < args.requests:
-        batch = [
-            PolicyRequest(policy_id=assigned[i], observation=observations[i])
-            for i in range(served, min(served + args.batch_size, args.requests))
-        ]
-        server.serve(batch)
-        served += len(batch)
+    if args.columnar:
+        # Arrays in, arrays out: no per-request python objects anywhere.
+        while served < args.requests:
+            stop = min(served + args.batch_size, args.requests)
+            server.serve_columnar(
+                PolicyRequestBatch(
+                    policy_ids=assigned[served:stop],
+                    observations=observations[served:stop],
+                )
+            )
+            served = stop
+    else:
+        while served < args.requests:
+            batch = [
+                PolicyRequest(policy_id=assigned[i], observation=observations[i])
+                for i in range(served, min(served + args.batch_size, args.requests))
+            ]
+            server.serve(batch)
+            served += len(batch)
     wall = time.perf_counter() - start
 
     stats = server.stats.to_dict()
     summary = {
         "requests": served,
         "batch_size": args.batch_size,
+        "columnar": bool(args.columnar),
         "policies": len(policy_ids),
         "wall_seconds": wall,
         "requests_per_second": served / wall if wall > 0 else float("inf"),
@@ -275,9 +292,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     }
     print(
         format_table(
-            ["requests", "policies", "batch", "wall s", "req/s"],
-            [[served, len(policy_ids), args.batch_size, round(wall, 4),
-              round(summary["requests_per_second"], 1)]],
+            ["requests", "policies", "batch", "columnar", "wall s", "req/s"],
+            [[served, len(policy_ids), args.batch_size, str(bool(args.columnar)),
+              round(wall, 4), round(summary["requests_per_second"], 1)]],
         )
     )
     if args.output:
@@ -330,7 +347,14 @@ def _bench_rollout(args: argparse.Namespace) -> Dict:
 
 
 def _bench_distill(args: argparse.Namespace) -> Dict:
-    """Time serial vs. batched Monte-Carlo distillation on a small pipeline."""
+    """Time serial vs. batched vs. float32-batched Monte-Carlo distillation.
+
+    The float32 row measures the dtype-policy fast path
+    (``set_inference_dtype("float32")``) against the float64 batched
+    reference on the same inputs and reports the label-agreement rate —
+    the distilled labels are a vote over many stochastic plans, so tiny
+    per-prediction rounding differences rarely flip a label.
+    """
     import numpy as np
 
     from repro.agents.random_shooting import RandomShootingOptimizer
@@ -345,7 +369,9 @@ def _bench_distill(args: argparse.Namespace) -> Dict:
     data = collect_historical_data(
         environment, RuleBasedAgent.from_config(environment), seed=args.seed + 1
     )
-    model = ThermalDynamicsModel(hidden_sizes=(16,), seed=args.seed + 2)
+    # Paper-shaped (64, 64) model: distillation cost is dominated by its
+    # matmuls, which is exactly what the float32 row is meant to expose.
+    model = ThermalDynamicsModel(hidden_sizes=(64, 64), seed=args.seed + 2)
     model.fit(data, epochs=15, seed=args.seed + 3)
     optimizer = RandomShootingOptimizer(
         dynamics_model=model,
@@ -365,6 +391,9 @@ def _bench_distill(args: argparse.Namespace) -> Dict:
     )
     serial = generator.generate(args.entries, seed=args.seed, method="serial")
     batched = generator.generate(args.entries, seed=args.seed, method="batched")
+    model.set_inference_dtype("float32")
+    float32 = generator.generate(args.entries, seed=args.seed, method="batched")
+    model.set_inference_dtype("float64")
     return {
         "benchmark": "distill",
         "entries": args.entries,
@@ -376,6 +405,12 @@ def _bench_distill(args: argparse.Namespace) -> Dict:
         "speedup": serial.generation_seconds_per_entry
         / max(batched.generation_seconds_per_entry, 1e-12),
         "labels_identical": bool(np.array_equal(serial.action_labels, batched.action_labels)),
+        "float32_seconds_per_entry": float32.generation_seconds_per_entry,
+        "float32_speedup": batched.generation_seconds_per_entry
+        / max(float32.generation_seconds_per_entry, 1e-12),
+        "float32_label_agreement": float(
+            np.mean(float32.action_labels == batched.action_labels)
+        ),
     }
 
 
@@ -452,10 +487,85 @@ def _bench_serve(args: argparse.Namespace) -> Dict:
     }
 
 
+def _bench_serve_columnar(args: argparse.Namespace) -> Dict:
+    """Columnar vs legacy front-door throughput on a mixed-building stream.
+
+    Extracts two tiny policies (different seeds) into a scratch store so
+    every chunk genuinely interleaves buildings, then pushes the same
+    request stream through the legacy object API (``serve``) and the
+    columnar API (``serve_columnar``) and checks the actions match
+    exactly.  This isolates the object-conversion tax the columnar data
+    plane removes: the tree kernel underneath is identical.
+    """
+    import tempfile
+    import time
+
+    import numpy as np
+
+    from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+    from repro.serving import PolicyRequest, PolicyRequestBatch, PolicyServer
+    from repro.store import PolicyStore
+    from repro.weather.climates import get_climate
+
+    city = _resolve(get_climate, args.climate).name
+    chunk = args.batch_size or 512
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as scratch:
+        store = PolicyStore(scratch)
+        for seed in (args.seed, args.seed + 1):
+            config = _resolve(
+                PipelineConfig.tiny, city=city, seed=seed, season=args.season
+            )
+            VerifiedPolicyPipeline(config, store=store).run()
+        server = PolicyServer(store=store, cache_size=4)
+        policy_ids = [entry.key.name for entry in store.entries()]
+        dim = server.resolve(policy_ids[0]).n_features
+
+        rng = np.random.default_rng(args.seed)
+        observations = _synthetic_observations(rng, args.rows, dim)
+        assigned = np.array([policy_ids[i % len(policy_ids)] for i in range(args.rows)])
+
+        requests = [
+            PolicyRequest(policy_id=assigned[i], observation=observations[i])
+            for i in range(args.rows)
+        ]
+        start = time.perf_counter()
+        legacy_actions = np.empty(args.rows, dtype=np.int64)
+        for lo in range(0, args.rows, chunk):
+            responses = server.serve(requests[lo : lo + chunk])
+            legacy_actions[lo : lo + len(responses)] = [
+                r.action_index for r in responses
+            ]
+        legacy_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        columnar_actions = np.empty(args.rows, dtype=np.int64)
+        for lo in range(0, args.rows, chunk):
+            hi = min(lo + chunk, args.rows)
+            response = server.serve_columnar(
+                PolicyRequestBatch(
+                    policy_ids=assigned[lo:hi], observations=observations[lo:hi]
+                )
+            )
+            columnar_actions[lo:hi] = response.action_indices
+        columnar_seconds = time.perf_counter() - start
+
+    return {
+        "benchmark": "serve-columnar",
+        "rows": args.rows,
+        "batch_size": chunk,
+        "policies": len(policy_ids),
+        "actions_identical": bool(np.array_equal(legacy_actions, columnar_actions)),
+        "legacy_requests_per_second": args.rows / max(legacy_seconds, 1e-12),
+        "columnar_requests_per_second": args.rows / max(columnar_seconds, 1e-12),
+        "speedup": legacy_seconds / max(columnar_seconds, 1e-12),
+    }
+
+
 _BENCH_TARGETS = {
     "rollout": _bench_rollout,
     "distill": _bench_distill,
     "serve": _bench_serve,
+    "serve-columnar": _bench_serve_columnar,
 }
 
 
@@ -519,6 +629,12 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--seed", type=int, default=0)
     extract.add_argument("--preset", default="paper", choices=["paper", "tiny"])
     extract.add_argument("--decision-data", type=int, default=None)
+    extract.add_argument(
+        "--dtype",
+        default=None,
+        choices=["float64", "float32"],
+        help="dynamics-model inference dtype (float32: the BLAS fast path)",
+    )
     extract.add_argument("--print-tree", action="store_true")
     extract.add_argument("--max-print-depth", type=int, default=4)
     extract.add_argument("--save", default=None, help="write the verified policy JSON here")
@@ -568,6 +684,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", default=None, metavar="PATH", help="policy store root")
     serve.add_argument("--requests", type=int, default=10000, help="total requests to serve")
     serve.add_argument("--batch-size", type=int, default=256, help="requests per server batch")
+    serve.add_argument(
+        "--columnar",
+        action="store_true",
+        help="drive the columnar front door (PolicyRequestBatch; arrays in, arrays out)",
+    )
     serve.add_argument("--cache-size", type=int, default=8, help="compiled-policy LRU size")
     serve.add_argument("--climate", default="pittsburgh", help="city for auto-extraction")
     serve.add_argument("--season", default="winter", choices=["winter", "summer"])
@@ -585,8 +706,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--target",
         default="rollout",
-        choices=["rollout", "distill", "serve"],
-        help="what to benchmark: rollouts, decision-dataset distillation or policy serving",
+        choices=["rollout", "distill", "serve", "serve-columnar"],
+        help=(
+            "what to benchmark: rollouts, decision-dataset distillation, policy "
+            "serving, or the columnar vs legacy serving front door"
+        ),
     )
     bench.add_argument("--agent", default="rule_based")
     bench.add_argument("--climate", default="pittsburgh")

@@ -439,6 +439,12 @@ class ExperimentRunner:
         agents with a vectorised fast path (``rule_based`` schedule plans,
         ``dt`` compiled forests) decide for the whole chunk in array ops
         instead of one python call per episode.
+
+        The loop is columnar end to end: the environment emits
+        :class:`~repro.data.ObservationBatch`/:class:`~repro.data.InfoBatch`,
+        agents return an :class:`~repro.data.ActionBatch`, and that batch is
+        fed straight back into the environment — no per-step object or dict
+        materialisation anywhere.
         """
         agent_cls = type(agents[0])
         if not all(type(agent) is agent_cls for agent in agents):
@@ -463,19 +469,18 @@ class ExperimentRunner:
 
         start = time.perf_counter()
         for step in range(total):
-            actions = np.asarray(
-                agent_cls.select_actions_batch(agents, observations, environments, step),
-                dtype=np.int64,
+            actions = agent_cls.select_actions_batch(
+                agents, observations, environments, step
             )
             result = batched.step(actions)
             info = result.info
             total_reward += result.rewards
-            total_energy += info["hvac_electric_energy_kwh"]
-            zone_temperatures += info["zone_temperature"]
-            occupied = info["occupied"].astype(bool)
+            total_energy += info.hvac_electric_energy_kwh
+            zone_temperatures += info.zone_temperature
+            occupied = info.occupied.astype(bool)
             occupied_steps += occupied
-            violation_steps += occupied & info["comfort_violated"].astype(bool)
-            violation_degrees += np.where(occupied, info["comfort_violation"], 0.0)
+            violation_steps += occupied & info.comfort_violated.astype(bool)
+            violation_degrees += np.where(occupied, info.comfort_violation, 0.0)
             observations = result.observations
             steps_done += 1
             if result.truncated or result.terminated:

@@ -14,12 +14,14 @@ Two variants are provided:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.data import resolve_float_dtype
 from repro.env.dataset import TransitionDataset
 from repro.nn.ensemble import BootstrapEnsemble
+from repro.nn.inference import CompiledInferenceNetwork
 from repro.nn.mlp import MLP
 from repro.nn.training import Normalizer, TrainingHistory, train_regressor
 from repro.utils.rng import RNGLike, ensure_rng
@@ -54,6 +56,12 @@ class ThermalDynamicsModel:
     The model predicts the *change* in zone temperature (a standard residual
     parameterisation that improves accuracy for slow thermal dynamics) and adds
     it back to the current state at prediction time.
+
+    Inference dtype policy: training always runs in float64, but prediction
+    can be switched to a compiled float32 forward pass with
+    :meth:`set_inference_dtype` — the opt-in fast path for the BLAS-bound
+    planning/distillation workloads (``PipelineConfig.dtype``).  ``float64``
+    (the default) keeps prediction bit-exact with the training network.
     """
 
     def __init__(
@@ -67,10 +75,40 @@ class ThermalDynamicsModel:
         self.target_normalizer = Normalizer()
         self.predict_delta = predict_delta
         self.history: Optional[TrainingHistory] = None
+        self._inference_dtype = np.dtype(np.float64)
+        self._compiled_net: Optional[CompiledInferenceNetwork] = None
 
     @property
     def is_fitted(self) -> bool:
         return self.input_normalizer.is_fitted and self.target_normalizer.is_fitted
+
+    # ------------------------------------------------------- inference dtype
+    @property
+    def inference_dtype(self) -> np.dtype:
+        return self._inference_dtype
+
+    def set_inference_dtype(self, dtype: Union[str, np.dtype]) -> "ThermalDynamicsModel":
+        """Select the prediction dtype (``"float64"`` reference, ``"float32"`` fast).
+
+        Returns ``self`` so callers can chain it after construction.  The
+        compiled network is (re)built lazily on the next prediction, so the
+        dtype can be set before or after :meth:`fit`.
+        """
+        self._inference_dtype = resolve_float_dtype(dtype)
+        self._compiled_net = None
+        return self
+
+    def _inference_network(self) -> CompiledInferenceNetwork:
+        if self._compiled_net is None or self._compiled_net.dtype != self._inference_dtype:
+            # Both normalisation passes fold into the weights, so the fast
+            # path is raw (s, d, a) rows straight through the matmuls.
+            self._compiled_net = CompiledInferenceNetwork(
+                self.network,
+                dtype=self._inference_dtype,
+                input_normalizer=self.input_normalizer,
+                target_normalizer=self.target_normalizer,
+            )
+        return self._compiled_net
 
     # -------------------------------------------------------------------- fit
     def fit(
@@ -101,6 +139,7 @@ class ThermalDynamicsModel:
             batch_size=batch_size,
             seed=seed,
         )
+        self._compiled_net = None  # weights changed; recompile on next predict
         return self.history
 
     # ---------------------------------------------------------------- predict
@@ -110,13 +149,26 @@ class ThermalDynamicsModel:
         disturbances: np.ndarray,
         actions: np.ndarray,
     ) -> np.ndarray:
-        """Predict next zone temperatures for a batch of (s, d, a) inputs."""
+        """Predict next zone temperatures for a batch of (s, d, a) inputs.
+
+        Under the default float64 policy this runs the training network
+        (bit-exact with :meth:`fit`-time forward passes); under float32 the
+        normalised inputs are cast once and flow through the compiled
+        float32 network, with de-normalisation back in float64.
+        """
         if not self.is_fitted:
             raise RuntimeError("Dynamics model must be fitted before prediction")
         raw_inputs = _stack_model_inputs(states, disturbances, actions)
-        x = self.input_normalizer.transform(raw_inputs)
-        y = self.target_normalizer.inverse_transform(self.network.forward(x))
-        predictions = y[:, 0]
+        if self._inference_dtype == np.float64:
+            x = self.input_normalizer.transform(raw_inputs)
+            y = self.target_normalizer.inverse_transform(self.network.forward(x))
+            predictions = y[:, 0]
+        else:
+            # Normalisation is folded into the compiled weights: one cast of
+            # the raw rows, the matmuls, and the de-normalised result.
+            predictions = self._inference_network().forward(raw_inputs)[:, 0].astype(
+                np.float64
+            )
         if self.predict_delta:
             predictions = predictions + raw_inputs[:, 0]
         return predictions
@@ -147,7 +199,13 @@ class ThermalDynamicsModel:
 
 
 class EnsembleDynamicsModel:
-    """Bootstrap-ensemble dynamics model with epistemic uncertainty estimates."""
+    """Bootstrap-ensemble dynamics model with epistemic uncertainty estimates.
+
+    Supports the same inference dtype policy as
+    :class:`ThermalDynamicsModel`: :meth:`set_inference_dtype` switches every
+    member's forward pass to a compiled cast network (float32 fast path),
+    while float64 remains the bit-exact reference.
+    """
 
     def __init__(
         self,
@@ -167,10 +225,38 @@ class EnsembleDynamicsModel:
         self.target_normalizer = Normalizer()
         self.predict_delta = predict_delta
         self._fitted = False
+        self._inference_dtype = np.dtype(np.float64)
+        self._compiled_members: Optional[List[CompiledInferenceNetwork]] = None
 
     @property
     def is_fitted(self) -> bool:
         return self._fitted
+
+    # ------------------------------------------------------- inference dtype
+    @property
+    def inference_dtype(self) -> np.dtype:
+        return self._inference_dtype
+
+    def set_inference_dtype(self, dtype: Union[str, np.dtype]) -> "EnsembleDynamicsModel":
+        """Select the prediction dtype for every ensemble member."""
+        self._inference_dtype = resolve_float_dtype(dtype)
+        self._compiled_members = None
+        return self
+
+    def _inference_members(self) -> List[CompiledInferenceNetwork]:
+        if self._compiled_members is None:
+            # Members share one input/target normaliser (fitted at this
+            # level), folded into each compiled member's weights.
+            self._compiled_members = [
+                CompiledInferenceNetwork(
+                    member,
+                    dtype=self._inference_dtype,
+                    input_normalizer=self.input_normalizer,
+                    target_normalizer=self.target_normalizer,
+                )
+                for member in self.ensemble.members
+            ]
+        return self._compiled_members
 
     def fit(
         self,
@@ -198,6 +284,7 @@ class EnsembleDynamicsModel:
             seed=seed,
         )
         self._fitted = True
+        self._compiled_members = None  # weights changed; recompile on next predict
 
     def predict(
         self,
@@ -209,13 +296,19 @@ class EnsembleDynamicsModel:
         if not self._fitted:
             raise RuntimeError("Dynamics model must be fitted before prediction")
         raw_inputs = _stack_model_inputs(states, disturbances, actions)
-        x = self.input_normalizer.transform(raw_inputs)
-        member_outputs = self.ensemble.predict_all(x)  # (members, n, 1)
-        member_outputs = np.stack(
-            [self.target_normalizer.inverse_transform(out) for out in member_outputs]
-        )
-        mean = member_outputs.mean(axis=0)[:, 0]
-        std = member_outputs.std(axis=0)[:, 0]
+        if self._inference_dtype == np.float64:
+            x = self.input_normalizer.transform(raw_inputs)
+            member_outputs = self.ensemble.predict_all(x)  # (members, n, 1)
+            member_outputs = np.stack(
+                [self.target_normalizer.inverse_transform(out) for out in member_outputs]
+            )
+        else:
+            # Folded members consume raw rows and emit de-normalised outputs.
+            member_outputs = np.stack(
+                [member.forward(raw_inputs) for member in self._inference_members()]
+            )
+        mean = member_outputs.mean(axis=0)[:, 0].astype(np.float64)
+        std = member_outputs.std(axis=0)[:, 0].astype(np.float64)
         if self.predict_delta:
             mean = mean + raw_inputs[:, 0]
         return mean, std

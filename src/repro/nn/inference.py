@@ -1,0 +1,107 @@
+"""Dtype-cast inference-only networks (the float32 fast path).
+
+The training :class:`~repro.nn.mlp.MLP` runs every forward pass in float64
+and caches intermediates for backpropagation — exactly right for fitting,
+pure overhead for the millions of forward passes the random-shooting planner
+and the Monte-Carlo distiller make.  :class:`CompiledInferenceNetwork`
+snapshots a fitted MLP's weights once, cast to a declared dtype, and runs a
+cache-free forward pass in that dtype.
+
+Under ``float32`` the matmuls that dominate paper-scale distillation move
+half the bytes and use the wider SIMD lanes, which is where the 2–4× BLAS
+win comes from; ``float64`` compilation is also supported (it still skips
+the backprop caches).  The dtype policy itself lives in
+:func:`repro.data.resolve_float_dtype` — ``float64`` stays the bit-exact
+reference, ``float32`` is opt-in via ``PipelineConfig.dtype``.
+
+A compiled network is a frozen snapshot: refitting the source MLP does not
+update it.  Holders (the dynamics models) rebuild their compiled nets after
+every ``fit``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.data import resolve_float_dtype
+from repro.nn.layers import ACTIVATIONS
+from repro.nn.mlp import MLP
+
+
+class CompiledInferenceNetwork:
+    """A fitted MLP flattened to dtype-cast weight arrays, forward-only.
+
+    Optionally folds the caller's input/target standardisation into the
+    weights (all folding arithmetic runs in float64 before the cast):
+
+    * an input :class:`~repro.nn.training.Normalizer` becomes part of the
+      first layer — ``act((x - μ)/σ · W + b)`` is ``act(x · W' + b')`` with
+      ``W' = W/σ`` and ``b' = b - (μ/σ)·W`` — so the per-call normalisation
+      pass disappears entirely,
+    * a target normaliser becomes part of a *linear* output layer the same
+      way (``W' = W·σ_t``, ``b' = b·σ_t + μ_t``), removing the
+      de-normalisation pass.
+    """
+
+    def __init__(
+        self,
+        mlp: MLP,
+        dtype: Union[str, np.dtype] = np.float32,
+        input_normalizer=None,
+        target_normalizer=None,
+    ):
+        self.dtype = resolve_float_dtype(dtype)
+        self.input_dim = mlp.input_dim
+        self.output_dim = mlp.output_dim
+        self.folds_input = input_normalizer is not None
+        self.folds_target = target_normalizer is not None
+        layers = [
+            [layer.weights.astype(np.float64), layer.bias.astype(np.float64), layer.activation_name]
+            for layer in mlp.layers
+        ]
+        if input_normalizer is not None:
+            mean = np.asarray(input_normalizer.mean, dtype=np.float64)
+            std = np.asarray(input_normalizer.std, dtype=np.float64)
+            weights, bias, _act = layers[0]
+            layers[0][1] = bias - (mean / std) @ weights
+            layers[0][0] = weights / std[:, np.newaxis]
+        if target_normalizer is not None:
+            if layers[-1][2] not in ("identity", "linear"):
+                raise ValueError(
+                    "Target normalisation can only be folded into a linear output layer"
+                )
+            mean = np.asarray(target_normalizer.mean, dtype=np.float64)
+            std = np.asarray(target_normalizer.std, dtype=np.float64)
+            layers[-1][0] = layers[-1][0] * std
+            layers[-1][1] = layers[-1][1] * std + mean
+        self._layers: List[Tuple[np.ndarray, np.ndarray, str]] = [
+            (
+                np.ascontiguousarray(weights, dtype=self.dtype),
+                np.ascontiguousarray(bias, dtype=self.dtype),
+                activation_name,
+            )
+            for weights, bias, activation_name in layers
+        ]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass in the compiled dtype; returns an array of that dtype.
+
+        The input is cast once (a no-op when the caller already holds the
+        right dtype); every intermediate stays in the compiled dtype and no
+        backprop caches are written.
+        """
+        out = np.asarray(x, dtype=self.dtype)
+        if out.ndim == 1:
+            out = out.reshape(1, -1)
+        for weights, bias, activation_name in self._layers:
+            activation, _grad = ACTIVATIONS[activation_name]
+            out = activation(out @ weights + bias)
+        return out
+
+    __call__ = forward

@@ -4,9 +4,13 @@ The deployment half of the policy store.  ``CompiledTreePolicy`` turns a
 verified :class:`~repro.core.tree_policy.TreePolicy` into contiguous numpy
 arrays with a vectorised ``predict_batch``; ``PolicyServer`` fronts a
 :class:`~repro.store.PolicyStore` with an LRU of compiled policies and
-batches concurrent requests across buildings.  Driven by ``repro serve``.
+batches concurrent requests across buildings.  The native request API is
+columnar (:meth:`PolicyServer.serve_columnar` over
+:class:`~repro.data.PolicyRequestBatch`); the per-request object API is a
+thin adapter over it.  Driven by ``repro serve``.
 """
 
+from repro.data import PolicyRequestBatch, PolicyResponseBatch
 from repro.serving.compiled import CompiledTreeForest, CompiledTreePolicy
 from repro.serving.server import (
     PolicyRequest,
@@ -20,7 +24,9 @@ __all__ = [
     "CompiledTreeForest",
     "CompiledTreePolicy",
     "PolicyRequest",
+    "PolicyRequestBatch",
     "PolicyResponse",
+    "PolicyResponseBatch",
     "PolicyServer",
     "ServerStats",
     "UnknownPolicyError",

@@ -3,28 +3,37 @@
 :class:`PolicyServer` is the embeddable core of a setpoint service: it owns a
 :class:`~repro.store.PolicyStore`, keeps an LRU cache of
 :class:`~repro.serving.compiled.CompiledTreePolicy` instances keyed by store
-entry, and answers batches of :class:`PolicyRequest` objects that may mix any
-number of buildings.  Requests are grouped by policy so each distinct tree
-runs one vectorised ``predict_batch`` over all of its rows, no matter how the
-batch interleaves buildings — the serving analogue of the batched simulation
-backend.
+entry, and answers request batches that may mix any number of buildings.
+
+The native endpoint is columnar: :meth:`PolicyServer.serve_columnar` takes a
+:class:`~repro.data.PolicyRequestBatch` (a building-id column plus a
+``(B, F)`` observation matrix) and returns a
+:class:`~repro.data.PolicyResponseBatch` — arrays in, arrays out.  Rows are
+routed to their policies with one stable ``argsort`` over the integer-coded
+id column, each distinct tree runs one vectorised ``predict_batch`` over a
+contiguous slice of the sorted observations (zero-copy), and results return
+to request order with an inverse-permutation scatter.  No per-request python
+objects exist anywhere on this path; the legacy object API
+(:meth:`PolicyServer.serve` over :class:`PolicyRequest`) is a thin adapter
+on top of it.
 
 Transport (HTTP, MQTT, a BMS bridge) is deliberately out of scope: the
 related SCADA repos show that layer is deployment-specific, while the
 batching, caching and store-resolution logic below is what every deployment
-shares.  ``repro serve`` drives this class with a synthetic request stream to
-measure the serving ceiling.
+shares.  ``repro serve`` (and ``repro serve --columnar``) drives this class
+with a synthetic request stream to measure the serving ceiling.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
 from repro.core.tree_policy import TreePolicy
+from repro.data import PolicyRequestBatch, PolicyResponseBatch
 from repro.serving.compiled import CompiledTreePolicy
 from repro.store import PolicyStore, resolve_store
 
@@ -137,38 +146,80 @@ class PolicyServer:
         return compiled
 
     # --------------------------------------------------------------- serving
-    def serve(self, requests: Sequence[PolicyRequest]) -> List[PolicyResponse]:
-        """Answer one batch of (possibly mixed-building) requests.
+    def serve_columnar(self, batch: PolicyRequestBatch) -> PolicyResponseBatch:
+        """Answer one columnar batch of (possibly mixed-building) requests.
 
-        Rows are grouped by ``policy_id`` and each group runs a single
-        vectorised ``predict_batch``; responses come back in request order.
+        The whole path is array-native: rows are routed to their policies by
+        a stable ``argsort`` over the batch's integer policy codes, each
+        distinct tree sees one contiguous slice of the sorted observation
+        matrix (``predict_batch`` consumes it zero-copy), and the per-policy
+        results are scattered back to request order through the inverse
+        permutation.  A single-policy batch — the overwhelmingly common case
+        for a per-building feed — skips the permutation entirely.
+        """
+        rows = len(batch)
+        if rows == 0:
+            return PolicyResponseBatch(
+                policy_ids=np.empty(0, dtype=str),
+                action_indices=np.empty(0, dtype=np.int64),
+                heating_setpoints=np.empty(0, dtype=np.int64),
+                cooling_setpoints=np.empty(0, dtype=np.int64),
+            )
+        codes, unique_ids = batch.grouping()
+        observations = batch.observations
+        tally = self.stats.per_policy_requests
+
+        if len(unique_ids) == 1:
+            policy_id = str(unique_ids[0])
+            compiled = self.resolve(policy_id)
+            actions = compiled.predict_batch(observations)
+            pairs = compiled.action_pairs[actions]
+            tally[policy_id] = tally.get(policy_id, 0) + rows
+        else:
+            order = np.argsort(codes, kind="stable")
+            sorted_observations = observations[order]
+            # Group boundaries in the sorted batch: one contiguous slice per
+            # distinct policy (codes index unique_ids, which is sorted).
+            starts = np.searchsorted(codes[order], np.arange(len(unique_ids)))
+            stops = np.append(starts[1:], rows)
+            sorted_actions = np.empty(rows, dtype=np.int64)
+            sorted_pairs = np.empty((rows, 2), dtype=np.int64)
+            for group, policy_id in enumerate(unique_ids):
+                lo, hi = int(starts[group]), int(stops[group])
+                compiled = self.resolve(str(policy_id))
+                group_actions = compiled.predict_batch(sorted_observations[lo:hi])
+                sorted_actions[lo:hi] = group_actions
+                sorted_pairs[lo:hi] = compiled.action_pairs[group_actions]
+                tally[str(policy_id)] = tally.get(str(policy_id), 0) + (hi - lo)
+            # Inverse-permutation scatter restores request order without any
+            # intermediate per-policy python lists.
+            actions = np.empty(rows, dtype=np.int64)
+            pairs = np.empty((rows, 2), dtype=np.int64)
+            actions[order] = sorted_actions
+            pairs[order] = sorted_pairs
+
+        self.stats.requests += rows
+        self.stats.batches += 1
+        return PolicyResponseBatch(
+            policy_ids=batch.policy_ids,
+            action_indices=actions,
+            heating_setpoints=pairs[:, 0],
+            cooling_setpoints=pairs[:, 1],
+        )
+
+    def serve(self, requests: Sequence[PolicyRequest]) -> List[PolicyResponse]:
+        """Answer one batch of legacy per-request objects.
+
+        A thin adapter over :meth:`serve_columnar`: requests are packed into
+        one :class:`~repro.data.PolicyRequestBatch`, served on the columnar
+        path, and unpacked back into :class:`PolicyResponse` objects in
+        request order.  Semantics (grouping, stats, errors) are identical.
         """
         if not requests:
             return []
-        groups: "OrderedDict[str, List[int]]" = OrderedDict()
-        for position, request in enumerate(requests):
-            groups.setdefault(request.policy_id, []).append(position)
-
-        responses: List[Optional[PolicyResponse]] = [None] * len(requests)
-        for policy_id, positions in groups.items():
-            compiled = self.resolve(policy_id)
-            inputs = np.array(
-                [requests[p].observation for p in positions], dtype=np.float64
-            )
-            actions = compiled.predict_batch(inputs)
-            pairs = compiled.action_pairs[actions]
-            for row, position in enumerate(positions):
-                responses[position] = PolicyResponse(
-                    policy_id=policy_id,
-                    action_index=int(actions[row]),
-                    heating_setpoint=int(pairs[row, 0]),
-                    cooling_setpoint=int(pairs[row, 1]),
-                )
-            tally = self.stats.per_policy_requests
-            tally[policy_id] = tally.get(policy_id, 0) + len(positions)
-        self.stats.requests += len(requests)
-        self.stats.batches += 1
-        return responses  # type: ignore[return-value]
+        return self.serve_columnar(
+            PolicyRequestBatch.from_requests(requests)
+        ).to_responses()
 
     def serve_one(self, policy_id: str, observation: Sequence[float]) -> PolicyResponse:
         """Single-request convenience (a batch of one)."""
