@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Intra-repo link checker for the markdown docs (CI: the docs job).
+
+Scans the repository's markdown (README.md, docs/**.md, and the other
+top-level pages) for ``[text](target)`` links and verifies every *relative*
+target resolves to a real file or directory.  External links (with a URL
+scheme) and pure in-page anchors are left alone; a ``path#anchor`` target is
+checked for the path part only.
+
+Usage::
+
+    python scripts/check_docs_links.py          # from the repository root
+    python scripts/check_docs_links.py docs README.md
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown link targets: [text](target) — excluding images' leading ``!`` is
+#: unnecessary (image paths must resolve too).
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not repo-relative paths.
+SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(roots) -> list:
+    """Every ``*.md`` under the given files/directories (sorted, unique)."""
+    files = set()
+    for root in roots:
+        path = Path(root)
+        if path.is_dir():
+            files.update(path.rglob("*.md"))
+        elif path.suffix == ".md":
+            files.add(path)
+    return sorted(files)
+
+
+def broken_links(markdown_path: Path) -> list:
+    """``(target, reason)`` for every unresolvable relative link in one file."""
+    problems = []
+    text = markdown_path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(SCHEMES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (markdown_path.parent / path_part).resolve()
+        if not resolved.exists():
+            problems.append((target, f"{resolved} does not exist"))
+    return problems
+
+
+def main(argv) -> int:
+    roots = argv or ["README.md", "docs", "ROADMAP.md", "CHANGES.md", "PAPER.md"]
+    failures = []
+    checked = 0
+    for markdown_path in markdown_files(roots):
+        checked += 1
+        for target, reason in broken_links(markdown_path):
+            failures.append(f"{markdown_path}: [{target}] -> {reason}")
+    if failures:
+        print(f"{len(failures)} broken link(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"Links OK across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

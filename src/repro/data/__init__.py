@@ -2,8 +2,10 @@
 
 ``repro.data`` owns the schema types that flow across layer boundaries —
 environment to agent, agent to runner, client to policy server — plus the
-float dtype policy (``float64`` reference, ``float32`` fast path).  See
-:mod:`repro.data.schema` for the full story.
+float dtype policy (``float64`` reference, ``float32`` fast path) and the
+zero-copy shared-memory transport the sharded policy server moves batches
+over.  See :mod:`repro.data.schema` for the schema story and
+:mod:`repro.data.shm` for the transport's ownership protocol.
 """
 
 from repro.data.schema import (
@@ -19,17 +21,27 @@ from repro.data.schema import (
     PolicyResponseBatch,
     resolve_float_dtype,
 )
+from repro.data.shm import (
+    ColumnSegment,
+    SharedMemoryColumnarBuffer,
+    ShmBatchHeader,
+    ShmTransportError,
+)
 
 __all__ = [
     "FLOAT_DTYPE_NAMES",
     "FLOAT_DTYPES",
     "OBSERVATION_FEATURES",
     "ActionBatch",
+    "ColumnSegment",
     "ColumnSpec",
     "ColumnarBatch",
     "InfoBatch",
     "ObservationBatch",
     "PolicyRequestBatch",
     "PolicyResponseBatch",
+    "SharedMemoryColumnarBuffer",
+    "ShmBatchHeader",
+    "ShmTransportError",
     "resolve_float_dtype",
 ]

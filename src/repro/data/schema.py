@@ -90,6 +90,12 @@ class ColumnSpec:
     required: bool = True
 
     def coerce(self, value: np.ndarray) -> np.ndarray:
+        """Coerce one column to its declared dtype/rank (contiguous, validated).
+
+        Float columns preserve float32/float64 and coerce anything else to
+        float64; int columns become ``int64``; id columns become unicode
+        arrays.  Raises :class:`ValueError` on a rank mismatch.
+        """
         if self.kind == "float":
             array = np.asarray(value)
             if array.dtype not in FLOAT_DTYPES:
@@ -151,6 +157,7 @@ class ColumnarBatch:
 
     @property
     def num_rows(self) -> int:
+        """Shared row count of every present column (``len(batch)``)."""
         return self._rows
 
     def columns(self) -> Dict[str, np.ndarray]:
@@ -217,6 +224,37 @@ class ColumnarBatch:
             }
         )
 
+    # ---------------------------------------------------------- shm transport
+    def to_shm(self, buffer) -> "ShmBatchHeader":
+        """Park this batch's columns in a shared-memory ring.
+
+        ``buffer`` is a :class:`~repro.data.shm.SharedMemoryColumnarBuffer`.
+        Returns the queue-sized :class:`~repro.data.shm.ShmBatchHeader` —
+        the only thing that should ever cross a process boundary for this
+        batch; the array payloads stay in (and are mapped out of) the shared
+        segment.  See :mod:`repro.data.shm` for the ownership protocol.
+        """
+        return buffer.write_batch(self)
+
+    @classmethod
+    def from_shm(cls, buffer, header, copy: bool = False) -> "ColumnarBatch":
+        """Rebuild a batch of this type from a shared-memory ring.
+
+        With ``copy=False`` the columns are zero-copy views onto the segment
+        (valid until the ring's producer writes its next batch); ``copy=True``
+        materialises private arrays.  Raises
+        :class:`~repro.data.shm.ShmTransportError` when the header describes
+        a different batch type.
+        """
+        from repro.data.shm import ShmTransportError
+
+        batch = buffer.read_batch(header, copy=copy)
+        if not isinstance(batch, cls):
+            raise ShmTransportError(
+                f"Header describes a {type(batch).__name__}, expected {cls.__name__}"
+            )
+        return batch
+
     @classmethod
     def concat(cls, batches: Sequence["ColumnarBatch"]) -> "ColumnarBatch":
         """Concatenate batches of one type row-wise."""
@@ -276,10 +314,12 @@ class ObservationBatch(ColumnarBatch):
 
     @property
     def num_features(self) -> int:
+        """Feature column count F of the ``(B, F)`` values matrix."""
         return self.values.shape[1]
 
     @property
     def dtype(self) -> np.dtype:
+        """Float dtype of ``values`` (float64 reference or float32 fast path)."""
         return self.values.dtype
 
     def column(self, name: str) -> np.ndarray:
@@ -344,6 +384,7 @@ class ActionBatch(ColumnarBatch):
 
     @property
     def has_setpoints(self) -> bool:
+        """Whether both resolved setpoint columns are present."""
         return self.heating_setpoints is not None and self.cooling_setpoints is not None
 
     def with_setpoints(self, action_pairs: np.ndarray) -> "ActionBatch":
@@ -359,6 +400,7 @@ class ActionBatch(ColumnarBatch):
         return self.indices if dtype is None else self.indices.astype(dtype, copy=False)
 
     def tolist(self) -> List[int]:
+        """The action indices as a plain python list (legacy adapter)."""
         return self.indices.tolist()
 
     def __getitem__(self, item):
@@ -366,6 +408,7 @@ class ActionBatch(ColumnarBatch):
 
     @classmethod
     def from_indices(cls, indices: Union[np.ndarray, Sequence[int]]) -> "ActionBatch":
+        """Build from any 1-d collection of action indices (coerced to int64)."""
         return cls(np.atleast_1d(np.asarray(indices, dtype=np.int64)))
 
 
@@ -409,6 +452,7 @@ class InfoBatch(ColumnarBatch):
 
     # ----------------------------------------------------- mapping protocol
     def keys(self) -> List[str]:
+        """The present info keys, ``"step"`` first (dict-protocol adapter)."""
         present = [
             spec.name for spec in self.COLUMNS if getattr(self, spec.name) is not None
         ]
@@ -428,9 +472,11 @@ class InfoBatch(ColumnarBatch):
         return getattr(self, key)
 
     def items(self) -> List[Tuple[str, Union[int, np.ndarray]]]:
+        """``(key, value)`` pairs over :meth:`keys` (dict-protocol adapter)."""
         return [(key, self[key]) for key in self.keys()]
 
     def get(self, key: str, default=None):
+        """``dict.get`` semantics over the present info keys."""
         try:
             return self[key]
         except KeyError:
@@ -484,6 +530,7 @@ class PolicyRequestBatch(ColumnarBatch):
 
     @property
     def num_policies(self) -> int:
+        """Distinct policy ids in this batch (via the cached grouping)."""
         return len(self.grouping()[1])
 
     @classmethod

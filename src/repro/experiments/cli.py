@@ -18,7 +18,9 @@ Examples::
     python -m repro extract --climate tucson --preset tiny --save policy.json
     python -m repro extract --preset tiny --dtype float32
     python -m repro serve --requests 100000 --batch-size 512 --columnar
+    python -m repro serve --requests 500000 --batch-size 8192 --shards 4
     python -m repro bench --target serve-columnar --rows 100000
+    python -m repro bench --target serve-sharded --rows 200000 --shards 4
     python -m repro policies --verify
 """
 
@@ -238,18 +240,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.serving import PolicyRequest, PolicyRequestBatch, PolicyServer
+    from repro.serving import (
+        PolicyRequest,
+        PolicyRequestBatch,
+        PolicyServer,
+        ShardedPolicyServer,
+    )
 
     if args.requests <= 0:
         raise CLIError("--requests must be positive")
     if args.batch_size <= 0:
         raise CLIError("--batch-size must be positive")
+    if args.shards < 1:
+        raise CLIError("--shards must be at least 1")
     store = _open_store(args.store)
     if not store.entries():
         _ensure_store_policy(store, args)
-    server = _resolve(PolicyServer, store=store, cache_size=args.cache_size)
+    sharded = args.shards > 1
+    if sharded:
+        # The sharded fleet speaks columnar natively; the per-request object
+        # stream makes no sense across a process boundary.
+        server = _resolve(
+            ShardedPolicyServer,
+            store=store,
+            num_shards=args.shards,
+            cache_size=args.cache_size,
+        )
+    else:
+        server = _resolve(PolicyServer, store=store, cache_size=args.cache_size)
     policy_ids = [entry.key.name for entry in store.entries()]
-    dim = server.resolve(policy_ids[0]).n_features
+    if sharded:
+        dim = PolicyServer(store=store, cache_size=1).resolve(policy_ids[0]).n_features
+    else:
+        dim = server.resolve(policy_ids[0]).n_features
 
     rng = np.random.default_rng(args.seed)
     observations = _synthetic_observations(rng, args.requests, dim)
@@ -259,32 +282,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     served = 0
     start = time.perf_counter()
-    if args.columnar:
-        # Arrays in, arrays out: no per-request python objects anywhere.
-        while served < args.requests:
-            stop = min(served + args.batch_size, args.requests)
-            server.serve_columnar(
-                PolicyRequestBatch(
-                    policy_ids=assigned[served:stop],
-                    observations=observations[served:stop],
+    try:
+        if args.columnar or sharded:
+            # Arrays in, arrays out: no per-request python objects anywhere.
+            while served < args.requests:
+                stop = min(served + args.batch_size, args.requests)
+                server.serve_columnar(
+                    PolicyRequestBatch(
+                        policy_ids=assigned[served:stop],
+                        observations=observations[served:stop],
+                    )
                 )
-            )
-            served = stop
-    else:
-        while served < args.requests:
-            batch = [
-                PolicyRequest(policy_id=assigned[i], observation=observations[i])
-                for i in range(served, min(served + args.batch_size, args.requests))
-            ]
-            server.serve(batch)
-            served += len(batch)
-    wall = time.perf_counter() - start
-
-    stats = server.stats.to_dict()
+                served = stop
+        else:
+            while served < args.requests:
+                batch = [
+                    PolicyRequest(policy_id=assigned[i], observation=observations[i])
+                    for i in range(served, min(served + args.batch_size, args.requests))
+                ]
+                server.serve(batch)
+                served += len(batch)
+        wall = time.perf_counter() - start
+        stats = server.stats() if sharded else server.stats.to_dict()
+    finally:
+        # A serving error must not strand the worker fleet or its rings.
+        if sharded:
+            server.close()
     summary = {
         "requests": served,
         "batch_size": args.batch_size,
-        "columnar": bool(args.columnar),
+        "columnar": bool(args.columnar or sharded),
+        "shards": args.shards,
         "policies": len(policy_ids),
         "wall_seconds": wall,
         "requests_per_second": served / wall if wall > 0 else float("inf"),
@@ -292,8 +320,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     }
     print(
         format_table(
-            ["requests", "policies", "batch", "columnar", "wall s", "req/s"],
-            [[served, len(policy_ids), args.batch_size, str(bool(args.columnar)),
+            ["requests", "policies", "batch", "columnar", "shards", "wall s", "req/s"],
+            [[served, len(policy_ids), args.batch_size,
+              str(bool(args.columnar or sharded)), args.shards,
               round(wall, 4), round(summary["requests_per_second"], 1)]],
         )
     )
@@ -561,11 +590,94 @@ def _bench_serve_columnar(args: argparse.Namespace) -> Dict:
     }
 
 
+def _bench_serve_sharded(args: argparse.Namespace) -> Dict:
+    """Sharded vs single-process columnar throughput on mixed-building traffic.
+
+    Extracts four tiny policies (distinct seeds) into a scratch store so the
+    round-robin request stream genuinely mixes buildings across shards, warms
+    both servers (policy compilation out of the timed region), then pushes
+    the identical stream through ``PolicyServer.serve_columnar`` and a
+    ``ShardedPolicyServer`` fleet and checks the actions are exactly equal.
+    The speedup is a multi-core scaling measurement: on a single-core box the
+    sharded path can only add IPC overhead, so the result records
+    ``cpu_count`` and CI gates its scaling floor on it.
+    """
+    import os
+    import tempfile
+    import time
+
+    import numpy as np
+
+    from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+    from repro.serving import PolicyRequestBatch, PolicyServer, ShardedPolicyServer
+    from repro.store import PolicyStore
+    from repro.weather.climates import get_climate
+
+    if args.shards < 1:
+        raise CLIError("--shards must be at least 1")
+    city = _resolve(get_climate, args.climate).name
+    chunk = args.batch_size or 8192
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as scratch:
+        store = PolicyStore(scratch)
+        for seed in range(args.seed, args.seed + 4):
+            config = _resolve(
+                PipelineConfig.tiny, city=city, seed=seed, season=args.season
+            )
+            VerifiedPolicyPipeline(config, store=store).run()
+        policy_ids = [entry.key.name for entry in store.entries()]
+        single = PolicyServer(store=store, cache_size=8)
+        dim = single.resolve(policy_ids[0]).n_features
+
+        rng = np.random.default_rng(args.seed)
+        observations = _synthetic_observations(rng, args.rows, dim)
+        assigned = np.array([policy_ids[i % len(policy_ids)] for i in range(args.rows)])
+
+        def stream(server, out):
+            for lo in range(0, args.rows, chunk):
+                hi = min(lo + chunk, args.rows)
+                response = server.serve_columnar(
+                    PolicyRequestBatch(
+                        policy_ids=assigned[lo:hi], observations=observations[lo:hi]
+                    )
+                )
+                out[lo:hi] = response.action_indices
+
+        warmup = PolicyRequestBatch(
+            policy_ids=assigned[:chunk], observations=observations[:chunk]
+        )
+        single_actions = np.empty(args.rows, dtype=np.int64)
+        single.serve_columnar(warmup)  # compile every policy before timing
+        start = time.perf_counter()
+        stream(single, single_actions)
+        single_seconds = time.perf_counter() - start
+
+        sharded_actions = np.empty(args.rows, dtype=np.int64)
+        with ShardedPolicyServer(store=store, num_shards=args.shards, cache_size=8) as fleet:
+            fleet.serve_columnar(warmup)
+            start = time.perf_counter()
+            stream(fleet, sharded_actions)
+            sharded_seconds = time.perf_counter() - start
+
+    return {
+        "benchmark": "serve-sharded",
+        "rows": args.rows,
+        "batch_size": chunk,
+        "shards": args.shards,
+        "cpu_count": os.cpu_count(),
+        "policies": len(policy_ids),
+        "actions_identical": bool(np.array_equal(single_actions, sharded_actions)),
+        "single_process_requests_per_second": args.rows / max(single_seconds, 1e-12),
+        "sharded_requests_per_second": args.rows / max(sharded_seconds, 1e-12),
+        "speedup": single_seconds / max(sharded_seconds, 1e-12),
+    }
+
+
 _BENCH_TARGETS = {
     "rollout": _bench_rollout,
     "distill": _bench_distill,
     "serve": _bench_serve,
     "serve-columnar": _bench_serve_columnar,
+    "serve-sharded": _bench_serve_sharded,
 }
 
 
@@ -689,7 +801,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="drive the columnar front door (PolicyRequestBatch; arrays in, arrays out)",
     )
-    serve.add_argument("--cache-size", type=int, default=8, help="compiled-policy LRU size")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sharded server (>1 spawns a "
+            "ShardedPolicyServer over the shared-memory transport; implies columnar)"
+        ),
+    )
+    serve.add_argument("--cache-size", type=int, default=8, help="compiled-policy LRU size (per shard)")
     serve.add_argument("--climate", default="pittsburgh", help="city for auto-extraction")
     serve.add_argument("--season", default="winter", choices=["winter", "summer"])
     serve.add_argument("--seed", type=int, default=0)
@@ -706,10 +827,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--target",
         default="rollout",
-        choices=["rollout", "distill", "serve", "serve-columnar"],
+        choices=["rollout", "distill", "serve", "serve-columnar", "serve-sharded"],
         help=(
             "what to benchmark: rollouts, decision-dataset distillation, policy "
-            "serving, or the columnar vs legacy serving front door"
+            "serving, the columnar vs legacy serving front door, or the "
+            "multi-process sharded server vs single-process columnar"
         ),
     )
     bench.add_argument("--agent", default="rule_based")
@@ -737,6 +859,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--rows", type=int, default=20000, help="request batch rows (serve target)"
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="worker processes (serve-sharded target)",
     )
     bench.add_argument("--output", default=None)
     bench.set_defaults(func=cmd_bench)

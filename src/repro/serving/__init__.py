@@ -1,4 +1,4 @@
-"""Compiled policy serving: flattened trees + the batched policy server.
+"""Compiled policy serving: flattened trees, the batched server, and shards.
 
 The deployment half of the policy store.  ``CompiledTreePolicy`` turns a
 verified :class:`~repro.core.tree_policy.TreePolicy` into contiguous numpy
@@ -7,7 +7,10 @@ arrays with a vectorised ``predict_batch``; ``PolicyServer`` fronts a
 batches concurrent requests across buildings.  The native request API is
 columnar (:meth:`PolicyServer.serve_columnar` over
 :class:`~repro.data.PolicyRequestBatch`); the per-request object API is a
-thin adapter over it.  Driven by ``repro serve``.
+thin adapter over it.  ``ShardedPolicyServer`` scales the same front door
+across N worker processes over the zero-copy shared-memory transport
+(:mod:`repro.data.shm`).  Driven by ``repro serve`` (``--shards N`` for the
+sharded fleet).
 """
 
 from repro.data import PolicyRequestBatch, PolicyResponseBatch
@@ -19,6 +22,12 @@ from repro.serving.server import (
     ServerStats,
     UnknownPolicyError,
 )
+from repro.serving.sharded import (
+    ShardedPolicyServer,
+    ShardedServingError,
+    shard_for_policy,
+    shard_rows,
+)
 
 __all__ = [
     "CompiledTreeForest",
@@ -29,5 +38,9 @@ __all__ = [
     "PolicyResponseBatch",
     "PolicyServer",
     "ServerStats",
+    "ShardedPolicyServer",
+    "ShardedServingError",
     "UnknownPolicyError",
+    "shard_for_policy",
+    "shard_rows",
 ]

@@ -133,14 +133,17 @@ class CompiledTreePolicy:
     # -------------------------------------------------------------- serving
     @property
     def node_count(self) -> int:
+        """Total flattened nodes (internal + leaves)."""
         return len(self.feature)
 
     @property
     def leaf_count(self) -> int:
+        """Leaves in the flattened tree (``feature == LEAF`` entries)."""
         return int(np.count_nonzero(self.feature == LEAF))
 
     @property
     def num_actions(self) -> int:
+        """Rows of the ``(A, 2)`` (heating, cooling) action-pair table."""
         return len(self.action_pairs)
 
     def _check_inputs(self, inputs: np.ndarray) -> np.ndarray:
@@ -211,10 +214,12 @@ class CompiledTreeForest:
 
     @classmethod
     def from_policies(cls, policies: Sequence[TreePolicy]) -> "CompiledTreeForest":
+        """Compile and fuse a sequence of (fitted) tree policies."""
         return cls([CompiledTreePolicy.from_policy(p) for p in policies])
 
     @property
     def size(self) -> int:
+        """Tree count B (``predict_rows`` expects ``(B, n_features)`` inputs)."""
         return len(self.policies)
 
     def predict_rows(self, inputs: np.ndarray) -> np.ndarray:

@@ -69,6 +69,7 @@ class ServerStats:
     per_policy_requests: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
+        """The counters as a JSON-ready dict (plus derived ``unique_policies``)."""
         return {
             "requests": self.requests,
             "batches": self.batches,

@@ -1,0 +1,560 @@
+"""Multi-process sharded policy serving over the shared-memory transport.
+
+One :class:`~repro.serving.server.PolicyServer` saturates one core: the tree
+kernel, the grouping argsort and the response scatter all run on a single
+Python thread.  :class:`ShardedPolicyServer` is the multi-core scale-out
+layer — it spawns N worker processes, each owning a full ``PolicyServer``
+shard, and routes request rows to shards by a **stable hash of the policy
+id** so every compiled policy lives in exactly one worker's LRU (no
+duplicated compilation, no cross-shard cache churn).
+
+The process boundary is crossed with zero copies of array payloads:
+requests and responses travel as
+:class:`~repro.data.shm.SharedMemoryColumnarBuffer` writes (one ring per
+shard per direction), and only tiny
+:class:`~repro.data.shm.ShmBatchHeader` structs — validated by the
+transport's no-pickle guard on every send — pass through the per-shard
+control pipes.  Workers map numpy views straight onto the request ring,
+serve, and park the response in their response ring for the parent to map
+back out.
+
+``num_shards=1`` takes an in-process fallback path (a plain ``PolicyServer``
+behind the same API), so tests, notebooks and small deployments pay no
+process, queue or ring tax until they ask for one.
+
+Lifecycle: :meth:`ShardedPolicyServer.start` spawns the workers (implicit on
+first use), :meth:`~ShardedPolicyServer.ping` health-checks them,
+:meth:`~ShardedPolicyServer.close` shuts them down and unlinks every ring.
+Workers install a SIGTERM handler that closes their shm attachments before
+exiting, and rings are owned (created + unlinked) solely by the parent, so a
+killed worker can never leak or tear down shared memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import zlib
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data import PolicyRequestBatch, PolicyResponseBatch
+from repro.data.shm import DEFAULT_CAPACITY, SharedMemoryColumnarBuffer, ShmTransportError
+from repro.serving.server import PolicyRequest, PolicyResponse, PolicyServer
+from repro.store import PolicyStore, resolve_store
+
+#: Per-direction, per-shard ring size (bytes) — the transport's default; see
+#: :data:`repro.data.shm.DEFAULT_CAPACITY` for the sizing rationale.
+DEFAULT_RING_CAPACITY = DEFAULT_CAPACITY
+
+#: Seconds the parent waits on a worker response before declaring it dead.
+DEFAULT_TIMEOUT = 60.0
+
+
+class ShardedServingError(RuntimeError):
+    """A worker failed (died, timed out, or raised while serving)."""
+
+
+def shard_for_policy(policy_id: str, num_shards: int) -> int:
+    """The shard that owns ``policy_id`` — stable across processes and runs.
+
+    Uses CRC-32 rather than :func:`hash` (which is salted per interpreter),
+    so the same policy always resolves to the same shard: its compiled tree
+    is cached in exactly one worker's LRU and re-routing is deterministic.
+    """
+    return zlib.crc32(str(policy_id).encode("utf-8")) % int(num_shards)
+
+
+def shard_rows(batch: PolicyRequestBatch, num_shards: int) -> np.ndarray:
+    """Per-row shard assignment for a request batch, shape ``(B,)``.
+
+    Hashes only the batch's *unique* policy ids (via the cached integer
+    grouping codes), then gathers — O(unique policies) hash calls regardless
+    of row count.
+    """
+    codes, unique_ids = batch.grouping()
+    shard_by_policy = np.fromiter(
+        (shard_for_policy(str(policy_id), num_shards) for policy_id in unique_ids),
+        dtype=np.int64,
+        count=len(unique_ids),
+    )
+    return shard_by_policy[codes]
+
+
+def _sigterm_to_exit(signum, frame):  # pragma: no cover - runs in workers
+    """Turn SIGTERM into SystemExit so worker ``finally`` blocks run."""
+    raise SystemExit(0)
+
+
+def _shard_worker_main(
+    shard_index: int,
+    store_root: Optional[str],
+    cache_size: int,
+    request_ring_name: str,
+    response_ring_name: str,
+    connection,
+) -> None:
+    """Worker entry point: one ``PolicyServer`` shard behind two shm rings.
+
+    Control traffic runs over one duplex ``Pipe`` connection (lower latency
+    than a ``Queue``: no feeder thread, and a dead worker surfaces as EOF on
+    the parent side).  Every request carries a parent-assigned sequence
+    number that the reply echoes, so a reply that arrives after the parent
+    timed out and moved on can never be mistaken for the answer to a later
+    request.  Protocol (messages received on ``connection``):
+
+    * ``("serve", seq, header)`` — map the request batch out of the request
+      ring (zero-copy), serve it, park the response in the response ring,
+      reply ``("ok", shard, seq, response_header)``.
+    * ``("register", seq, policy_id, policy_dict)`` — pin an in-memory
+      policy (control plane; this is the one place a policy payload crosses
+      the pipe, by design), reply ``("ok", shard, seq, None)``.
+    * ``("ping", seq)`` — reply ``("pong", shard, seq, {pid, stats})``.
+    * ``("stop",)`` or ``None`` — clean shutdown.
+
+    Any exception while serving is reported as
+    ``("error", shard, seq, message)`` rather than killing the worker.
+    SIGTERM triggers the same cleanup path as ``stop`` (close both ring
+    attachments; the parent owns and unlinks the segments).
+    """
+    signal.signal(signal.SIGTERM, _sigterm_to_exit)
+    request_ring = SharedMemoryColumnarBuffer.attach(request_ring_name)
+    response_ring = SharedMemoryColumnarBuffer.attach(response_ring_name)
+    server = PolicyServer(
+        store=store_root if store_root is not None else False,
+        cache_size=cache_size,
+    )
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except EOFError:  # parent went away
+                break
+            if message is None or message[0] == "stop":
+                break
+            kind, seq = message[0], message[1]
+            if kind == "serve":
+                try:
+                    header = message[2]
+                    request = PolicyRequestBatch.from_shm(request_ring, header)
+                    response = server.serve_columnar(request)
+                    del request  # release the ring views before the next batch
+                    out = response.to_shm(response_ring)
+                    out.assert_zero_copy()
+                    connection.send(("ok", shard_index, seq, out))
+                except Exception as exc:  # noqa: BLE001 - reported to parent
+                    connection.send(
+                        ("error", shard_index, seq, f"{type(exc).__name__}: {exc}")
+                    )
+            elif kind == "register":
+                try:
+                    from repro.core.tree_policy import TreePolicy
+
+                    _, _, policy_id, payload = message
+                    server.register(policy_id, TreePolicy.from_dict(payload))
+                    connection.send(("ok", shard_index, seq, None))
+                except Exception as exc:  # noqa: BLE001 - reported to parent
+                    connection.send(
+                        ("error", shard_index, seq, f"{type(exc).__name__}: {exc}")
+                    )
+            elif kind == "ping":
+                connection.send(
+                    ("pong", shard_index, seq, {"pid": os.getpid(), "stats": server.stats.to_dict()})
+                )
+            else:
+                connection.send(("error", shard_index, seq, f"unknown message {kind!r}"))
+    except SystemExit:  # pragma: no cover - SIGTERM path
+        pass
+    finally:
+        request_ring.close()
+        response_ring.close()
+        connection.close()
+
+
+class ShardedPolicyServer:
+    """N ``PolicyServer`` shards in N processes behind one columnar front door.
+
+    Same request/response contract as
+    :meth:`~repro.serving.server.PolicyServer.serve_columnar` — and
+    action-exact against it, because every shard *is* a ``PolicyServer`` and
+    rows reach their policy's shard unreordered relative to that policy.
+
+    Parameters
+    ----------
+    store:
+        Anything :func:`repro.store.resolve_store` accepts.  Workers open
+        their own :class:`~repro.store.PolicyStore` at the resolved root
+        (stores are plain directories; concurrent readers are safe).
+    num_shards:
+        Worker process count.  ``1`` serves in-process (no workers, no
+        rings) behind the identical API.
+    cache_size:
+        Per-shard compiled-policy LRU size.
+    ring_capacity:
+        Bytes per shared-memory ring (one request + one response ring per
+        shard).  Must hold the largest single batch routed to one shard.
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` where available
+        (fast), else ``spawn``.
+    timeout:
+        Seconds to wait on a worker before declaring it dead.
+    """
+
+    def __init__(
+        self,
+        store: Union[PolicyStore, str, None] = None,
+        num_shards: int = 1,
+        cache_size: int = 8,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        start_method: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = int(num_shards)
+        self.cache_size = int(cache_size)
+        self.ring_capacity = int(ring_capacity)
+        self.timeout = float(timeout)
+        self._store = resolve_store(store if store is not None else True)
+        self._local: Optional[PolicyServer] = None
+        if self.num_shards == 1:
+            # In-process fallback: identical API, zero process/ring tax.
+            self._local = PolicyServer(store=self._store, cache_size=cache_size)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        self._workers: List = []
+        self._connections: List = []
+        self._sequences: List[int] = []
+        self._request_rings: List[SharedMemoryColumnarBuffer] = []
+        self._response_rings: List[SharedMemoryColumnarBuffer] = []
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def started(self) -> bool:
+        """Whether worker processes are currently running (always False at N=1)."""
+        return self._started
+
+    def start(self) -> "ShardedPolicyServer":
+        """Spawn the worker fleet (no-op at ``num_shards=1`` or if running)."""
+        if self._local is not None or self._started:
+            return self
+        if self._closed:
+            raise ShardedServingError("Server already closed")
+        store_root = str(self._store.root) if self._store is not None else None
+        for shard in range(self.num_shards):
+            request_ring = SharedMemoryColumnarBuffer.create(self.ring_capacity)
+            response_ring = SharedMemoryColumnarBuffer.create(self.ring_capacity)
+            parent_end, worker_end = self._context.Pipe(duplex=True)
+            worker = self._context.Process(
+                target=_shard_worker_main,
+                args=(
+                    shard,
+                    store_root,
+                    self.cache_size,
+                    request_ring.name,
+                    response_ring.name,
+                    worker_end,
+                ),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            worker.start()
+            worker_end.close()  # the parent keeps only its end
+            self._workers.append(worker)
+            self._connections.append(parent_end)
+            self._sequences.append(0)
+            self._request_rings.append(request_ring)
+            self._response_rings.append(response_ring)
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        """Stop every worker and unlink every ring (idempotent).
+
+        Workers get a ``stop`` message and a join window; stragglers are
+        terminated.  The parent owns all segments, so shared memory is fully
+        reclaimed here even if a worker was SIGKILLed mid-flight.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for connection, worker in zip(self._connections, self._workers):
+            if worker.is_alive():
+                try:
+                    connection.send(("stop",))
+                except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                    pass
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=5.0)
+        for connection in self._connections:
+            connection.close()
+        for ring in self._request_rings + self._response_rings:
+            ring.close()
+            ring.unlink()
+        self._workers.clear()
+        self._request_rings.clear()
+        self._response_rings.clear()
+        self._connections.clear()
+        self._sequences.clear()
+        self._started = False
+
+    def __enter__(self) -> "ShardedPolicyServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ---------------------------------------------------------------- health
+    def ping(self) -> Dict[int, Dict]:
+        """Health-check every shard: ``{shard: {pid, stats}}``.
+
+        Raises :class:`ShardedServingError` when a worker is dead or
+        unresponsive within ``timeout``.
+        """
+        if self._local is not None:
+            return {
+                0: {
+                    "pid": os.getpid(),
+                    "in_process": True,
+                    "stats": self._local.stats.to_dict(),
+                }
+            }
+        self._ensure_started()
+        expected = {
+            shard: self._send(shard, "ping") for shard in range(self.num_shards)
+        }
+        replies = self._collect(expected, expected_kind="pong")
+        return {shard: payload for shard, payload in replies.items()}
+
+    def stats(self) -> Dict:
+        """Aggregated serving counters across all shards.
+
+        Sums the per-shard :class:`~repro.serving.server.ServerStats`
+        counters and merges the per-policy tallies; also reports the
+        per-shard breakdown under ``"shards"``.
+        """
+        per_shard = {
+            shard: payload["stats"] for shard, payload in self.ping().items()
+        }
+        totals: Dict[str, object] = {
+            key: sum(stats[key] for stats in per_shard.values())
+            for key in (
+                "requests",
+                "batches",
+                "compile_count",
+                "cache_hits",
+                "cache_misses",
+                "evictions",
+            )
+        }
+        merged: Dict[str, int] = {}
+        for stats in per_shard.values():
+            for policy_id, count in stats["per_policy_requests"].items():
+                merged[policy_id] = merged.get(policy_id, 0) + count
+        totals["unique_policies"] = len(merged)
+        totals["per_policy_requests"] = merged
+        totals["shards"] = per_shard
+        return totals
+
+    # ----------------------------------------------------------- registration
+    def register(self, policy_id: str, policy) -> int:
+        """Pin an in-memory :class:`~repro.core.tree_policy.TreePolicy`.
+
+        Control-plane operation: the policy is serialised (``to_dict``) to
+        the *one* shard that :func:`shard_for_policy` routes the id to —
+        registration is the only message type that carries a policy payload
+        through a queue; the serving hot path never does.  Returns the
+        owning shard index.
+        """
+        if self._local is not None:
+            self._local.register(policy_id, policy)
+            return 0
+        self._ensure_started()
+        shard = shard_for_policy(policy_id, self.num_shards)
+        seq = self._send(shard, "register", policy_id, policy.to_dict())
+        self._collect({shard: seq}, expected_kind="ok")
+        return shard
+
+    # ---------------------------------------------------------------- serving
+    def serve_columnar(self, batch: PolicyRequestBatch) -> PolicyResponseBatch:
+        """Answer one columnar batch, fanned out across the shard fleet.
+
+        Rows are partitioned by :func:`shard_rows` with one stable argsort,
+        each shard's contiguous slice is parked in that shard's request ring
+        (header-only queue message), all shards serve **concurrently**, and
+        responses are mapped back out of the response rings and scattered to
+        request order through the inverse permutation — the exact mirror of
+        the single-process grouping inside ``PolicyServer.serve_columnar``,
+        one level up.
+        """
+        if self._local is not None:
+            return self._local.serve_columnar(batch)
+        rows = len(batch) if batch is not None else 0
+        if rows == 0:
+            return PolicyResponseBatch(
+                policy_ids=np.empty(0, dtype=str),
+                action_indices=np.empty(0, dtype=np.int64),
+                heating_setpoints=np.empty(0, dtype=np.int64),
+                cooling_setpoints=np.empty(0, dtype=np.int64),
+            )
+        self._ensure_started()
+        row_shards = shard_rows(batch, self.num_shards)
+        present = np.unique(row_shards)
+
+        if len(present) == 1:
+            shard = int(present[0])
+            seq = self._dispatch(shard, batch)
+            replies = self._collect({shard: seq}, expected_kind="ok")
+            response = self._read_response(shard, replies[shard])
+            actions = response.action_indices.copy()
+            heating = response.heating_setpoints.copy()
+            cooling = response.cooling_setpoints.copy()
+            return PolicyResponseBatch(
+                policy_ids=batch.policy_ids,
+                action_indices=actions,
+                heating_setpoints=heating,
+                cooling_setpoints=cooling,
+            )
+
+        order = np.argsort(row_shards, kind="stable")
+        sorted_ids = batch.policy_ids[order]
+        sorted_observations = batch.observations[order]
+        starts = np.searchsorted(row_shards[order], present)
+        stops = np.append(starts[1:], rows)
+        bounds = {}
+        expected = {}
+        for position, shard in enumerate(present):
+            lo, hi = int(starts[position]), int(stops[position])
+            bounds[int(shard)] = (lo, hi)
+            expected[int(shard)] = self._dispatch(
+                int(shard),
+                PolicyRequestBatch(
+                    policy_ids=sorted_ids[lo:hi],
+                    observations=sorted_observations[lo:hi],
+                ),
+            )
+        replies = self._collect(expected, expected_kind="ok")
+
+        sorted_actions = np.empty(rows, dtype=np.int64)
+        sorted_heating = np.empty(rows, dtype=np.int64)
+        sorted_cooling = np.empty(rows, dtype=np.int64)
+        for shard, header in replies.items():
+            lo, hi = bounds[shard]
+            response = self._read_response(shard, header)
+            sorted_actions[lo:hi] = response.action_indices
+            sorted_heating[lo:hi] = response.heating_setpoints
+            sorted_cooling[lo:hi] = response.cooling_setpoints
+
+        actions = np.empty(rows, dtype=np.int64)
+        heating = np.empty(rows, dtype=np.int64)
+        cooling = np.empty(rows, dtype=np.int64)
+        actions[order] = sorted_actions
+        heating[order] = sorted_heating
+        cooling[order] = sorted_cooling
+        return PolicyResponseBatch(
+            policy_ids=batch.policy_ids,
+            action_indices=actions,
+            heating_setpoints=heating,
+            cooling_setpoints=cooling,
+        )
+
+    def serve(self, requests: Sequence[PolicyRequest]) -> List[PolicyResponse]:
+        """Legacy object adapter, mirroring ``PolicyServer.serve``."""
+        if not requests:
+            return []
+        return self.serve_columnar(
+            PolicyRequestBatch.from_requests(requests)
+        ).to_responses()
+
+    # -------------------------------------------------------------- internals
+    def _ensure_started(self) -> None:
+        if not self._started:
+            self.start()
+
+    def _send(self, shard: int, kind: str, *payload) -> int:
+        """Send one sequence-stamped message to a shard; return its sequence.
+
+        The liveness check and the broken-pipe translation live here so every
+        control-plane caller (serve, register, ping) reports a dead worker as
+        :class:`ShardedServingError` rather than a raw ``BrokenPipeError``.
+        """
+        worker = self._workers[shard]
+        if not worker.is_alive():
+            raise ShardedServingError(f"Shard {shard} worker (pid {worker.pid}) is dead")
+        self._sequences[shard] += 1
+        seq = self._sequences[shard]
+        try:
+            self._connections[shard].send((kind, seq, *payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardedServingError(
+                f"Shard {shard} worker (pid {worker.pid}) is unreachable: {exc}"
+            ) from exc
+        return seq
+
+    def _dispatch(self, shard: int, sub_batch: PolicyRequestBatch) -> int:
+        """Park one shard's slice in its request ring; send the tiny header."""
+        header = sub_batch.to_shm(self._request_rings[shard])
+        header.assert_zero_copy()  # the transport's no-pickle guard
+        return self._send(shard, "serve", header)
+
+    def _read_response(self, shard: int, header) -> PolicyResponseBatch:
+        """Map one shard's response out of its ring (views; copy before reuse)."""
+        return PolicyResponseBatch.from_shm(self._response_rings[shard], header)
+
+    def _collect(self, expected: Dict[int, int], expected_kind: str) -> Dict[int, object]:
+        """Gather the reply to each ``{shard: sequence}``; raise on errors.
+
+        Replies whose echoed sequence predates the expected one are stale —
+        answers to a request the parent already timed out on — and are
+        discarded rather than mistaken for the current reply, so a retry
+        after a :class:`ShardedServingError` can never serve another batch's
+        actions.
+        """
+        pending = {self._connections[shard]: shard for shard in expected}
+        replies: Dict[int, object] = {}
+        errors: List[str] = []
+        deadline = time.monotonic() + self.timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            ready = connection_wait(list(pending), timeout=max(remaining, 0.0))
+            if not ready:
+                dead = [i for i, w in enumerate(self._workers) if not w.is_alive()]
+                raise ShardedServingError(
+                    f"Timed out waiting for shards {sorted(pending.values())} "
+                    f"(dead shards: {dead or 'none'})"
+                )
+            for connection in ready:
+                shard = pending.pop(connection)
+                try:
+                    kind, _, seq, payload = connection.recv()
+                except (EOFError, OSError):
+                    errors.append(f"shard {shard}: worker died mid-request")
+                    continue
+                if seq != expected[shard]:
+                    pending[connection] = shard  # stale reply: keep waiting
+                elif kind == "error":
+                    errors.append(f"shard {shard}: {payload}")
+                elif kind != expected_kind:
+                    errors.append(f"shard {shard}: unexpected {kind!r} reply")
+                else:
+                    replies[shard] = payload
+        if errors:
+            raise ShardedServingError("; ".join(errors))
+        return replies
