@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Run the strict mypy gate over the migrated packages.
+
+The strict surface (``repro.data``, ``repro.serving``, ``repro.store``) and
+all flag policy live in ``pyproject.toml``'s ``[tool.mypy]`` tables — this
+wrapper only locates mypy and reports.  Where mypy is not installed (the
+pinned local toolchain does not ship it) the gate is *skipped with a notice*
+rather than failed, so `python scripts/run_typecheck.py` is safe in every
+environment while CI — which installs the ``typecheck`` extra — still
+enforces it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def main() -> int:
+    """Invoke ``mypy`` from pyproject config; 0 on pass or tool-missing."""
+    try:
+        import mypy  # noqa: F401
+    except ModuleNotFoundError:
+        print(
+            "run_typecheck: mypy is not installed; skipping the strict typing "
+            "gate (install the 'typecheck' extra to run it)"
+        )
+        return 0
+    cmd = [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"]
+    print("run_typecheck:", " ".join(cmd))
+    return subprocess.call(cmd, cwd=REPO_ROOT)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,8 +71,8 @@ class MPPIOptimizer:
         cfg = self.action_config
 
         # Nominal sequence: hold the comfort midpoint for heating, max cooling.
-        nominal_heating = np.full(horizon, self.reward_config.comfort.midpoint)
-        nominal_cooling = np.full(horizon, float(cfg.cooling_max))
+        nominal_heating = np.full(horizon, self.reward_config.comfort.midpoint, dtype=np.float64)
+        nominal_cooling = np.full(horizon, float(cfg.cooling_max), dtype=np.float64)
 
         for _iteration in range(self.num_iterations):
             noise_h = generator.normal(0.0, self.noise_std, size=(self.num_samples, horizon))
@@ -81,8 +81,8 @@ class MPPIOptimizer:
             cooling = np.clip(nominal_cooling + noise_c, cfg.cooling_min, cfg.cooling_max)
             cooling = np.maximum(cooling, heating)
 
-            states = np.full(self.num_samples, float(state))
-            returns = np.zeros(self.num_samples)
+            states = np.full(self.num_samples, float(state), dtype=np.float64)
+            returns = np.zeros(self.num_samples, dtype=np.float64)
             off_heating, off_cooling = cfg.off_setpoints()
             comfort = self.reward_config.comfort
             for t in range(horizon):
@@ -109,7 +109,8 @@ class MPPIOptimizer:
             [
                 self.action_space.to_index(*cfg.clip(h, c))
                 for h, c in zip(nominal_heating, nominal_cooling)
-            ]
+            ],
+            dtype=np.int64,
         )
         return OptimizationResult(
             best_action_index=best_index,

@@ -150,8 +150,8 @@ class RandomShootingOptimizer:
             raise ValueError("occupied_forecast must cover the planning horizon")
 
         sequences = generator.integers(0, self.action_space.n, size=(self.num_samples, horizon))
-        states = np.full(self.num_samples, float(state))
-        returns = np.zeros(self.num_samples)
+        states = np.full(self.num_samples, float(state), dtype=np.float64)
+        returns = np.zeros(self.num_samples, dtype=np.float64)
 
         for t in range(horizon):
             action_indices = sequences[:, t]
@@ -240,7 +240,7 @@ class RandomShootingOptimizer:
             )
         flat_sequences = sequences.reshape(n_problems * num_samples, horizon)
         flat_states = np.repeat(states, num_samples)
-        returns = np.zeros(n_problems * num_samples)
+        returns = np.zeros(n_problems * num_samples, dtype=np.float64)
 
         # Persistence forecasts (every step identical per problem) are a
         # broadcast view with a zero stride along the horizon axis — hoist

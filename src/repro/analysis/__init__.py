@@ -1,9 +1,18 @@
-"""Analysis utilities: distribution statistics and decision-stochasticity studies.
+"""Analysis: paper studies plus reprolint, the repo's own static analyzer.
 
-These support the paper's preliminary experiments — the Fig. 1 motivation study
-(how stochastic the MBRL controller's setpoint decisions are under identical
-conditions) and the Fig. 3 noise-level study (Jensen-Shannon distance and
-information entropy of the augmented historical-data distribution).
+Two halves live here.  The *paper* half supports the preliminary
+experiments — the Fig. 1 motivation study (how stochastic the MBRL
+controller's setpoint decisions are under identical conditions) and the
+Fig. 3 noise-level study (Jensen-Shannon distance and information entropy
+of the augmented historical-data distribution).
+
+The *tooling* half is **reprolint**: an AST-based invariant linter that
+parses the whole ``repro`` tree and enforces repo-specific contracts the
+ordinary toolchain can't see — the float dtype policy (REP001), zero-copy
+transport discipline (REP002), the columnar schema contract (REP003),
+shm/pipe/process resource ownership (REP004) and RNG discipline (REP005).
+Run it as ``repro lint`` or ``python -m repro.analysis``; findings beyond
+the committed ``.reprolint-baseline.json`` fail CI.
 """
 
 from repro.analysis.distributions import (
@@ -14,6 +23,11 @@ from repro.analysis.distributions import (
     dataset_entropy,
     dataset_jsd,
 )
+from repro.analysis.engine import LintResult, run_lint
+from repro.analysis.findings import Baseline, Finding
+from repro.analysis.registry import LintRule, all_rules, make_rules, register_rule
+from repro.analysis.reporters import render_human, render_json
+from repro.analysis.reprolint import add_lint_arguments, run_lint_command
 from repro.analysis.stochasticity import (
     SetpointTrace,
     StochasticityReport,
@@ -32,4 +46,16 @@ __all__ = [
     "StochasticityReport",
     "collect_setpoint_traces",
     "analyze_stochasticity",
+    "LintResult",
+    "run_lint",
+    "Baseline",
+    "Finding",
+    "LintRule",
+    "all_rules",
+    "make_rules",
+    "register_rule",
+    "render_human",
+    "render_json",
+    "add_lint_arguments",
+    "run_lint_command",
 ]

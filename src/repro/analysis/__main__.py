@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run reprolint standalone."""
+
+from repro.analysis.reprolint import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

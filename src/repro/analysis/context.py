@@ -1,0 +1,288 @@
+"""Parsed-source contexts the lint rules run against.
+
+:class:`FileContext` wraps one parsed module: source, AST, suppression map
+and a :meth:`~FileContext.report` helper that applies line suppressions at
+the moment a rule fires.  :class:`ProjectContext` wraps the whole lint run —
+every file plus the *schema model*: a cross-module index of
+``ColumnarBatch``-style classes (their declared ``ColumnSpec`` columns,
+dataclass fields, methods, properties and self-assigned attributes) that the
+schema-contract rule (REP003) checks producers and consumers against.
+
+Both are plain data + AST helpers; rules own all policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import is_suppressed, parse_suppressions
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The dotted name of an expression (``np.random.seed``), or ``None``.
+
+    Resolves ``Name`` and nested ``Attribute`` chains only — calls on call
+    results or subscripts have no static dotted name and return ``None``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The dotted name a call targets (``None`` for dynamic callees)."""
+    return dotted_name(call.func)
+
+
+def has_keyword(call: ast.Call, name: str) -> bool:
+    """Whether the call passes ``name=`` explicitly as a keyword."""
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def keyword_value(call: ast.Call, name: str) -> Optional[ast.expr]:
+    """The AST value of keyword ``name=`` on a call, or ``None``."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+@dataclass
+class BatchClassInfo:
+    """The schema model of one ``ColumnarBatch``-style class.
+
+    Everything REP003 needs to validate attribute reads and producer dtypes:
+    the declared ``ColumnSpec`` names and kinds, annotated dataclass fields
+    (in declaration order, for positional-constructor mapping), methods,
+    properties, plain class-level assignments, attributes the class assigns
+    on ``self``, and base-class names for API inheritance walks.
+    """
+
+    name: str
+    path: str
+    line: int
+    specs: Dict[str, str] = field(default_factory=dict)  # column name -> kind
+    fields: List[str] = field(default_factory=list)
+    methods: Set[str] = field(default_factory=set)
+    properties: Set[str] = field(default_factory=set)
+    class_attrs: Set[str] = field(default_factory=set)
+    self_attrs: Set[str] = field(default_factory=set)
+    bases: List[str] = field(default_factory=list)
+
+
+class FileContext:
+    """One parsed module under lint: source, AST, suppressions, findings."""
+
+    def __init__(self, path: Path, relpath: str, source: str):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree: Optional[ast.Module] = None
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            self.syntax_error = exc
+        self.suppressions = parse_suppressions(source)
+        self.findings: List[Finding] = []
+        self.suppressed_count = 0
+
+    def report(
+        self,
+        rule: str,
+        node: ast.AST,
+        severity: str,
+        message: str,
+        suggestion: str = "",
+    ) -> None:
+        """File a finding at ``node`` unless a line suppression silences it."""
+        first = getattr(node, "lineno", 1)
+        last = getattr(node, "end_lineno", None) or first
+        if is_suppressed(self.suppressions, rule, first, last):
+            self.suppressed_count += 1
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.relpath,
+                line=first,
+                severity=severity,
+                message=message,
+                suggestion=suggestion,
+            )
+        )
+
+    def report_line(
+        self,
+        rule: str,
+        line: int,
+        severity: str,
+        message: str,
+        suggestion: str = "",
+    ) -> None:
+        """File a finding at a bare line number (class-level findings)."""
+        if is_suppressed(self.suppressions, rule, line, line):
+            self.suppressed_count += 1
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.relpath,
+                line=line,
+                severity=severity,
+                message=message,
+                suggestion=suggestion,
+            )
+        )
+
+    def functions(self) -> List[ast.FunctionDef]:
+        """Every (sync and async) function definition in the module."""
+        if self.tree is None:
+            return []
+        return [
+            node
+            for node in ast.walk(self.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+
+def _annotation_name(annotation: Optional[ast.expr]) -> Optional[str]:
+    """The class name an annotation refers to (handles string annotations)."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        name = annotation.value.strip().strip("\"'")
+        return name.split("[")[0].split(".")[-1] or None
+    name = dotted_name(annotation)
+    if name is not None:
+        return name.split(".")[-1]
+    return None
+
+
+def _collect_batch_class(node: ast.ClassDef, relpath: str) -> Optional[BatchClassInfo]:
+    """Build a :class:`BatchClassInfo` if the class declares ``COLUMNS``."""
+    columns_value: Optional[ast.expr] = None
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "COLUMNS":
+                    columns_value = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            target = statement.target
+            if isinstance(target, ast.Name) and target.id == "COLUMNS":
+                columns_value = statement.value
+    is_base = node.name == "ColumnarBatch"
+    if columns_value is None and not is_base:
+        return None
+
+    info = BatchClassInfo(
+        name=node.name,
+        path=relpath,
+        line=node.lineno,
+        bases=[b for b in (dotted_name(base) for base in node.bases) if b],
+    )
+    # COLUMNS itself is part of every batch class's legitimate API.
+    info.class_attrs.add("COLUMNS")
+    if columns_value is not None and isinstance(columns_value, (ast.Tuple, ast.List)):
+        for element in columns_value.elts:
+            if not (isinstance(element, ast.Call) and call_name(element) == "ColumnSpec"):
+                continue
+            name: Optional[str] = None
+            if element.args and isinstance(element.args[0], ast.Constant):
+                name = str(element.args[0].value)
+            kind = "float"
+            if len(element.args) > 1 and isinstance(element.args[1], ast.Constant):
+                kind = str(element.args[1].value)
+            kind_kw = keyword_value(element, "kind")
+            if isinstance(kind_kw, ast.Constant):
+                kind = str(kind_kw.value)
+            name_kw = keyword_value(element, "name")
+            if isinstance(name_kw, ast.Constant):
+                name = str(name_kw.value)
+            if name:
+                info.specs[name] = kind
+
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+            if statement.target.id != "COLUMNS":
+                info.fields.append(statement.target.id)
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    info.class_attrs.add(target.id)
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorators = {dotted_name(d) for d in statement.decorator_list}
+            if "property" in decorators:
+                info.properties.add(statement.name)
+            else:
+                info.methods.add(statement.name)
+            for inner in ast.walk(statement):
+                if isinstance(inner, ast.Assign):
+                    for target in inner.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            info.self_attrs.add(target.attr)
+    return info
+
+
+class ProjectContext:
+    """The whole lint run: every file plus the cross-module schema model."""
+
+    def __init__(self, root: Path, files: Sequence[FileContext]):
+        self.root = root
+        self.files = list(files)
+        self.batch_classes: Dict[str, BatchClassInfo] = {}
+        for ctx in self.files:
+            if ctx.tree is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    info = _collect_batch_class(node, ctx.relpath)
+                    if info is not None:
+                        self.batch_classes[info.name] = info
+
+    def class_api(self, class_name: str) -> Set[str]:
+        """Every attribute name legitimately reachable on a batch class.
+
+        Walks the recorded base-class chain (within the project) so
+        subclasses inherit the base machinery (``take``, ``slice``,
+        ``_rows``...).
+        """
+        api: Set[str] = set()
+        seen: Set[str] = set()
+        stack = [class_name]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            info = self.batch_classes.get(name)
+            if info is None:
+                continue
+            api.update(info.specs)
+            api.update(info.fields)
+            api.update(info.methods)
+            api.update(info.properties)
+            api.update(info.class_attrs)
+            api.update(info.self_attrs)
+            stack.extend(info.bases)
+        return api
+
+    def annotation_class(self, annotation: Optional[ast.expr]) -> Optional[str]:
+        """The batch class an annotation names, or ``None`` if not a batch."""
+        name = _annotation_name(annotation)
+        if name is not None and name in self.batch_classes:
+            return name
+        return None

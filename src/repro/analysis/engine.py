@@ -1,0 +1,124 @@
+"""The reprolint engine: collect files, run rules, apply the baseline.
+
+:func:`run_lint` is the single entry point everything else (the ``repro
+lint`` CLI, ``python -m repro.analysis``, the tests) calls: it walks the
+lint root for python sources, parses each into a
+:class:`~repro.analysis.context.FileContext`, assembles the
+:class:`~repro.analysis.context.ProjectContext` schema model, dispatches
+every registered rule, and folds the committed baseline in — returning a
+:class:`LintResult` whose ``new_findings`` are the only thing the CI gate
+fails on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.context import FileContext, ProjectContext
+from repro.analysis.findings import Baseline, Finding
+from repro.analysis.registry import LintRule, make_rules
+
+#: Directory names never descended into when collecting sources.
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache"}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    ``findings`` is the full sorted list; ``new_findings`` is what survives
+    the baseline (the CI gate fails iff any of these is an ``error``);
+    ``parse_errors`` are files the engine could not even parse — always
+    fatal, since an unparseable file is invisible to every rule.
+    """
+
+    root: Path
+    findings: List[Finding] = field(default_factory=list)
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined_count: int = 0
+    suppressed_count: int = 0
+    file_count: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def gate_failures(self) -> List[Finding]:
+        """The non-baselined ``error``-severity findings that fail the gate."""
+        return [f for f in self.new_findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run passes the gate (no new errors, no parse errors)."""
+        return not self.gate_failures and not self.parse_errors
+
+
+def collect_files(root: Path) -> List[Path]:
+    """Every ``.py`` file under ``root``, sorted, skipping cache dirs."""
+    if root.is_file():
+        return [root]
+    files = []
+    for path in sorted(root.rglob("*.py")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def build_project(root: Path, files: Optional[Sequence[Path]] = None) -> ProjectContext:
+    """Parse the tree under ``root`` into a :class:`ProjectContext`."""
+    root = root.resolve()
+    contexts: List[FileContext] = []
+    for path in files if files is not None else collect_files(root):
+        path = Path(path).resolve()
+        try:
+            relpath = path.relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.name
+        source = path.read_text(encoding="utf-8")
+        contexts.append(FileContext(path, relpath, source))
+    return ProjectContext(root, contexts)
+
+
+def run_lint(
+    root: Union[str, Path],
+    baseline: Optional[Baseline] = None,
+    only: Tuple[str, ...] = (),
+    rules: Optional[Sequence[LintRule]] = None,
+) -> LintResult:
+    """Lint the tree under ``root`` and apply ``baseline`` (None = empty).
+
+    ``only`` restricts to the given rule ids; ``rules`` injects
+    pre-instantiated rules (the tests use this to run a single rule against
+    a fixture tree without touching the registry).
+    """
+    root = Path(root).resolve()
+    project = build_project(root)
+    active = list(rules) if rules is not None else make_rules(only)
+    for rule in active:
+        rule.check_project(project)
+
+    findings: List[Finding] = []
+    suppressed = 0
+    parse_errors: List[str] = []
+    for ctx in project.files:
+        findings.extend(ctx.findings)
+        suppressed += ctx.suppressed_count
+        if ctx.syntax_error is not None:
+            parse_errors.append(
+                f"{ctx.relpath}:{ctx.syntax_error.lineno or 0}: "
+                f"{ctx.syntax_error.msg}"
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    applied = baseline if baseline is not None else Baseline()
+    new_findings, absorbed = applied.filter_new(findings)
+    return LintResult(
+        root=root,
+        findings=findings,
+        new_findings=new_findings,
+        baselined_count=absorbed,
+        suppressed_count=suppressed,
+        file_count=len(project.files),
+        parse_errors=parse_errors,
+    )

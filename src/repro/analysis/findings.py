@@ -1,0 +1,124 @@
+"""Structured lint findings and the committed-baseline workflow.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are *fingerprinted* without their line number (rule id, file, message), so a
+baseline recorded once stays valid while unrelated edits shift code up and
+down a file.  :class:`Baseline` stores fingerprint occurrence counts: running
+the linter against a baseline only fails on findings *beyond* what the
+baseline already acknowledges, which is how pre-existing debt stays visible
+without blocking CI, while any **new** violation fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+#: Severity levels a rule may emit.  ``error`` findings gate CI; ``warning``
+#: findings are reported but never fail the run.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+#: Version tag written into baseline files so future format changes can be
+#: detected instead of silently misread.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is relative to the lint root (posix separators) so findings and
+    baselines are stable across checkouts; ``suggestion`` is the mechanical
+    fix the rule recommends, shown by the human reporter and carried in the
+    JSON report.
+    """
+
+    rule: str
+    path: str
+    line: int
+    severity: str
+    message: str
+    suggestion: str = ""
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used for baseline matching.
+
+        Two findings with the same rule, file and message are the same debt
+        even after unrelated edits move them around the file.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """The finding as a JSON-ready dict (the JSON reporter's row format)."""
+        return asdict(self)
+
+    def location(self) -> str:
+        """``path:line`` — the clickable prefix of the human reporter."""
+        return f"{self.path}:{self.line}"
+
+
+@dataclass
+class Baseline:
+    """Acknowledged pre-existing findings, keyed by fingerprint with counts.
+
+    The count matters: if a file legitimately has two identical-message
+    violations baselined and a third appears, the third one fails the gate.
+    """
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Snapshot the given findings as the new acknowledged debt."""
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(this build reads version {BASELINE_VERSION})"
+            )
+        counts = data.get("findings", {})
+        return cls(counts={str(k): int(v) for k, v in counts.items()})
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the baseline as sorted, human-diffable JSON."""
+        path = Path(path)
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    def filter_new(self, findings: Sequence[Finding]) -> Tuple[List[Finding], int]:
+        """Split findings into (new, baselined-count).
+
+        For each fingerprint, up to the baselined count of occurrences is
+        absorbed; everything beyond that is new debt and is returned for the
+        gate to fail on.
+        """
+        budget = dict(self.counts)
+        new: List[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            key = finding.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                absorbed += 1
+            else:
+                new.append(finding)
+        return new, absorbed

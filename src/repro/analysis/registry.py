@@ -1,0 +1,94 @@
+"""The lint-rule base class and registry.
+
+Every rule is a :class:`LintRule` subclass registered with
+:func:`register_rule`; the engine instantiates the registry and dispatches
+per-file (:meth:`LintRule.check_file`) or whole-project
+(:meth:`LintRule.check_project`) passes.  Path scoping lives here so each
+rule declares *where* an invariant holds (e.g. the dtype policy covers
+``data/``, ``serving/``, ``nn/inference.py`` and ``agents/``) in one
+obvious place, matching lint-root-relative path prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple, Type
+
+from repro.analysis.context import FileContext, ProjectContext
+
+
+class LintRule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``rule_id`` (``REPnnn``), ``title``, ``severity`` and an
+    optional ``scope`` of lint-root-relative path prefixes (empty = every
+    file) / ``exclude`` list, then implement :meth:`check_file` — or override
+    :meth:`check_project` for cross-module rules.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: str = "error"
+    #: Path prefixes (relative to the lint root, posix) the rule applies to.
+    scope: Tuple[str, ...] = ()
+    #: Path prefixes the rule never applies to, even inside ``scope``.
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether the rule's scope covers a lint-root-relative path."""
+        if any(relpath.startswith(prefix) for prefix in self.exclude):
+            return False
+        if not self.scope:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.scope)
+
+    def check_file(self, ctx: FileContext) -> None:
+        """Per-file pass; default does nothing (project rules override)."""
+
+    def check_project(self, project: ProjectContext) -> None:
+        """Whole-project pass: runs :meth:`check_file` on every in-scope file."""
+        for ctx in project.files:
+            if ctx.tree is not None and self.applies_to(ctx.relpath):
+                self.check_file(ctx)
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry (id-unique)."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must define rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"Duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[LintRule]]:
+    """Every registered rule class, sorted by rule id."""
+    # Importing the rule modules registers them; deferred to avoid cycles.
+    from repro.analysis import (  # noqa: F401
+        rules_dtype,
+        rules_resources,
+        rules_rng,
+        rules_schema,
+        rules_zero_copy,
+    )
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def make_rules(only: Tuple[str, ...] = ()) -> List[LintRule]:
+    """Instantiate the registry, optionally restricted to the given ids."""
+    rules = [cls() for cls in all_rules()]
+    if only:
+        wanted = {rule_id.upper() for rule_id in only}
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            known = ", ".join(sorted(r.rule_id for r in rules))
+            raise ValueError(f"Unknown rule id(s) {sorted(unknown)}; known: {known}")
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    return rules
+
+
+RuleFactory = Callable[[], LintRule]

@@ -1,0 +1,80 @@
+"""Reprolint output formats: a human report and a machine JSON report.
+
+The human reporter groups findings by file with ``path:line`` prefixes and
+prints the rule's suggestion under each finding; the JSON reporter emits a
+single stable document (counts, findings, gate verdict) that CI uploads as
+an artifact and downstream tooling can diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding
+
+
+def render_json(result: LintResult) -> str:
+    """The full run as one JSON document (sorted, newline-terminated)."""
+    payload = {
+        "root": str(result.root),
+        "ok": result.ok,
+        "file_count": result.file_count,
+        "finding_count": len(result.findings),
+        "new_finding_count": len(result.new_findings),
+        "baselined_count": result.baselined_count,
+        "suppressed_count": result.suppressed_count,
+        "parse_errors": list(result.parse_errors),
+        "counts_by_rule": _counts_by_rule(result.findings),
+        "findings": [f.to_dict() for f in result.findings],
+        "new_findings": [f.to_dict() for f in result.new_findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_human(result: LintResult, show_baselined: bool = False) -> str:
+    """The run as a grouped, suggestion-annotated human report.
+
+    By default only *new* (non-baselined) findings are listed — the ones the
+    gate acts on; ``show_baselined`` widens the listing to everything.
+    """
+    lines: List[str] = []
+    shown = result.findings if show_baselined else result.new_findings
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in shown:
+        by_path.setdefault(finding.path, []).append(finding)
+    for path in sorted(by_path):
+        lines.append(path)
+        for finding in by_path[path]:
+            lines.append(
+                f"  {finding.location()}: {finding.severity} "
+                f"{finding.rule}: {finding.message}"
+            )
+            if finding.suggestion:
+                lines.append(f"      hint: {finding.suggestion}")
+        lines.append("")
+    for error in result.parse_errors:
+        lines.append(f"PARSE ERROR {error}")
+    if result.parse_errors:
+        lines.append("")
+
+    counts = _counts_by_rule(result.findings)
+    summary = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+    lines.append(
+        f"reprolint: {result.file_count} files, {len(result.findings)} findings"
+        + (f" ({summary})" if summary else "")
+        + f", {result.baselined_count} baselined, "
+        f"{result.suppressed_count} suppressed, "
+        f"{len(result.new_findings)} new"
+    )
+    lines.append("PASS" if result.ok else "FAIL")
+    return "\n".join(lines) + "\n"
+
+
+def _counts_by_rule(findings: List[Finding]) -> Dict[str, int]:
+    """Finding counts keyed by rule id."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts

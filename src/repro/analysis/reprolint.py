@@ -1,0 +1,145 @@
+"""The reprolint command line: argument schema, run, report, gate.
+
+Exposes two reusable pieces — :func:`add_lint_arguments` (the argument
+schema) and :func:`run_lint_command` (parse-args-in, exit-code-out) — so the
+``repro lint`` subcommand and the standalone ``python -m repro.analysis``
+entry share one implementation.  Exit code 0 means the gate passed (no
+non-baselined errors, no parse errors); 1 means it failed; 2 means the
+invocation itself was bad (unknown rule id, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.engine import run_lint
+from repro.analysis.findings import Baseline
+from repro.analysis.reporters import render_human, render_json
+
+#: File name of the committed baseline, looked up next to ``pyproject.toml``.
+BASELINE_FILENAME = ".reprolint-baseline.json"
+
+
+def default_root() -> Path:
+    """The default lint root: the installed ``repro`` package directory."""
+    return Path(__file__).resolve().parents[1]
+
+
+def default_baseline_path(root: Path) -> Path:
+    """The committed baseline next to the nearest ``pyproject.toml``.
+
+    Walks up from the lint root; if no project marker is found the baseline
+    is assumed to sit directly above the package (``root``'s grandparent for
+    a ``src`` layout would be wrong, so fall back to ``root``'s parent).
+    """
+    for candidate in (root, *root.parents):
+        if (candidate / "pyproject.toml").exists() or (candidate / ".git").exists():
+            return candidate / BASELINE_FILENAME
+    return root.parent / BASELINE_FILENAME
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the reprolint argument schema on ``parser``."""
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory tree to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: {BASELINE_FILENAME} next to pyproject.toml)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding is treated as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format on stdout (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the JSON report to this path (CI artifact)",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="human format: list baselined findings too, not just new ones",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute one lint run from parsed arguments; returns the exit code."""
+    root = (args.root or default_root()).resolve()
+    if not root.exists():
+        print(f"reprolint: lint root {root} does not exist", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or default_baseline_path(root)
+    only = tuple(part.strip() for part in args.select.split(",") if part.strip())
+
+    try:
+        baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    except (ValueError, OSError) as exc:
+        print(f"reprolint: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_lint(root, baseline=baseline, only=only)
+    except ValueError as exc:  # unknown rule id from --select
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"reprolint: wrote baseline with {len(result.findings)} "
+            f"finding(s) to {baseline_path}"
+        )
+        return 0
+
+    json_report = render_json(result)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json_report, encoding="utf-8")
+    if args.format == "json":
+        sys.stdout.write(json_report)
+    else:
+        sys.stdout.write(render_human(result, show_baselined=args.show_baselined))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant linter for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

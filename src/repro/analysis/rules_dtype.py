@@ -1,0 +1,72 @@
+"""REP001 — the float dtype policy (no implicit float64 allocations).
+
+The columnar data plane runs an explicit dtype policy: ``float64`` is the
+bit-exact reference, ``float32`` is the opt-in fast path, and the choice is
+made *once* (``resolve_float_dtype``) and threaded through.  A dtype-less
+``np.zeros(n)`` in a hot path silently pins float64, defeats the float32
+fast path, and — worse — can silently *upcast* a float32 pipeline back to
+float64 mid-stream.  Inside the modules under the policy, every numpy
+constructor must declare its dtype (or carry a justified suppression).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import FileContext, call_name, has_keyword
+from repro.analysis.registry import LintRule, register_rule
+
+#: Constructor -> index of its positional ``dtype`` parameter.  A call with
+#: that many positional arguments has declared a dtype positionally.
+_CONSTRUCTORS = {
+    "zeros": 2,
+    "empty": 2,
+    "ones": 2,
+    "full": 3,
+    "asarray": 2,
+    "array": 2,
+}
+
+#: Module aliases the rule recognises in dotted callee names.
+_NUMPY_ALIASES = ("np", "numpy")
+
+
+@register_rule
+class DtypePolicyRule(LintRule):
+    """Flag dtype-less numpy constructors in modules under the dtype policy."""
+
+    rule_id = "REP001"
+    title = "dtype-policy: numpy constructors must declare an explicit dtype"
+    severity = "error"
+    scope = ("data/", "serving/", "nn/inference.py", "agents/")
+
+    def check_file(self, ctx: FileContext) -> None:
+        """Flag every in-scope ``np.zeros/empty/ones/full/asarray/array`` call
+        that neither passes ``dtype=`` nor supplies it positionally."""
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or "." not in name:
+                continue
+            alias, _, func = name.rpartition(".")
+            if alias not in _NUMPY_ALIASES or func not in _CONSTRUCTORS:
+                continue
+            if has_keyword(node, "dtype"):
+                continue
+            if len(node.args) >= _CONSTRUCTORS[func]:
+                continue
+            ctx.report(
+                self.rule_id,
+                node,
+                self.severity,
+                f"dtype-less np.{func}() defaults to float64 and bypasses the "
+                "float dtype policy",
+                suggestion=(
+                    "pass an explicit dtype= (route float columns through "
+                    "resolve_float_dtype), or suppress with a justification "
+                    "if the implicit dtype is the point"
+                ),
+            )

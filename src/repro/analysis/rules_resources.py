@@ -1,0 +1,219 @@
+"""REP004 — resource ownership of shared memory, pipes and processes.
+
+The shm transport's ownership protocol (owner creates + unlinks, peers
+attach + close, workers are joined) is what keeps a SIGKILLed worker from
+leaking a 32 MB segment.  This rule requires every creation of a
+``SharedMemory`` segment, ``SharedMemoryColumnarBuffer``, ``Pipe`` or
+``Process`` to have a visible disposal path in the creating function:
+
+* created inside a ``with`` statement, or
+* stored on ``self`` (directly or via a ``self.…`` call such as
+  ``self._rings.append(ring)``) in a class that defines ``close``/
+  ``__exit__``/``__del__``, or
+* ownership escaping via ``return``, or
+* an explicit ``close``/``unlink``/``join``/``terminate`` call on the local
+  name — ideally inside ``try/finally``, which is what the transport's own
+  worker loop does.
+
+A creation with none of these is a leak the moment an exception (or a
+SIGTERM) lands between creation and cleanup.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple, Union
+
+from repro.analysis.context import FileContext, call_name, dotted_name
+from repro.analysis.registry import LintRule, register_rule
+
+#: Callee-name tails that create an owned OS resource.
+_CREATION_TAILS = {"SharedMemory", "Pipe", "Process"}
+
+#: ``SharedMemoryColumnarBuffer.create`` / ``.attach`` style factories:
+#: (penultimate segment, final segment) pairs.
+_FACTORY_CALLS = {
+    ("SharedMemoryColumnarBuffer", "create"),
+    ("SharedMemoryColumnarBuffer", "attach"),
+}
+
+#: Method calls that dispose of (or hand off) a resource.
+_CLEANUP_METHODS = {"close", "unlink", "join", "terminate", "kill", "shutdown"}
+
+
+def _is_creation(call: ast.Call) -> Optional[str]:
+    """The resource kind a call creates, or ``None``."""
+    name = call_name(call)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if parts[-1] in _CREATION_TAILS:
+        return parts[-1]
+    if len(parts) >= 2 and (parts[-2], parts[-1]) in _FACTORY_CALLS:
+        return parts[-2]
+    return None
+
+
+@register_rule
+class ResourceOwnershipRule(LintRule):
+    """Require a disposal path for every shm/pipe/process creation."""
+
+    rule_id = "REP004"
+    title = "resource-ownership: SharedMemory/Pipe/Process creations need close/unlink/join"
+    severity = "error"
+
+    def check_file(self, ctx: FileContext) -> None:
+        """Check every function that creates a tracked OS resource."""
+        if ctx.tree is None:
+            return
+        class_methods = self._classes_with_disposal(ctx.tree)
+        for func in ctx.functions():
+            self._check_function(ctx, func, class_methods)
+
+    # ------------------------------------------------------------ helpers
+    @staticmethod
+    def _classes_with_disposal(tree: ast.Module) -> Set[str]:
+        """Names of classes defining ``close``/``__exit__``/``__del__``."""
+        disposers = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                names = {
+                    item.name
+                    for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                if names & {"close", "__exit__", "__del__"}:
+                    disposers.add(node.name)
+        return disposers
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        disposing_classes: Set[str],
+    ) -> None:
+        """Flag creations in ``func`` that lack any disposal path."""
+        with_nodes: List[ast.AST] = []
+        returns: List[ast.Return] = []
+        cleanup_names: Set[str] = set()
+        self_stored_names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                with_nodes.append(node)
+            elif isinstance(node, ast.Return):
+                returns.append(node)
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr in _CLEANUP_METHODS
+                    and isinstance(fn.value, ast.Name)
+                ):
+                    cleanup_names.add(fn.value.id)
+                # self._rings.append(ring) / self.adopt(ring): storing a local
+                # on self delegates disposal to the instance.
+                root = dotted_name(fn)
+                if root is not None and root.startswith("self."):
+                    for arg in ast.walk(node):
+                        if isinstance(arg, ast.Name) and isinstance(arg.ctx, ast.Load):
+                            self_stored_names.add(arg.id)
+
+        returned_names: Set[str] = set()
+        for ret in returns:
+            if ret.value is not None:
+                for node in ast.walk(ret.value):
+                    if isinstance(node, ast.Name):
+                        returned_names.add(node.id)
+
+        in_method_of_disposer = self._enclosing_disposer(ctx, func, disposing_classes)
+
+        for statement in ast.walk(func):
+            if not isinstance(statement, (ast.Assign, ast.Expr)):
+                continue
+            value = statement.value
+            if not isinstance(value, ast.Call):
+                continue
+            kind = _is_creation(value)
+            if kind is None:
+                continue
+            if any(self._contains(w, value) for w in with_nodes):
+                continue
+            if any(self._contains(r, value) for r in returns):
+                continue  # ownership escapes to the caller
+            if isinstance(statement, ast.Expr):
+                self._leak(ctx, value, kind, "its result is discarded")
+                continue
+            names = self._target_names(statement)
+            if names is None:
+                # Stored on self (or another attribute): fine when the class
+                # has a disposal method.
+                if in_method_of_disposer:
+                    continue
+                self._leak(
+                    ctx,
+                    value,
+                    kind,
+                    "it is stored on an object with no close/__exit__/__del__",
+                )
+                continue
+            for name in names:
+                if (
+                    name in cleanup_names
+                    or name in returned_names
+                    or (name in self_stored_names and in_method_of_disposer)
+                ):
+                    continue
+                self._leak(
+                    ctx,
+                    value,
+                    kind,
+                    f"local {name!r} is never closed/unlinked/joined or handed off",
+                )
+
+    def _enclosing_disposer(
+        self,
+        ctx: FileContext,
+        func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        disposing_classes: Set[str],
+    ) -> bool:
+        """Whether ``func`` is a method of a class that can dispose."""
+        if ctx.tree is None:
+            return False
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and func in node.body:
+                return node.name in disposing_classes
+        return False
+
+    @staticmethod
+    def _target_names(statement: ast.Assign) -> Optional[Tuple[str, ...]]:
+        """Simple-name assignment targets, or ``None`` for attribute targets."""
+        names: List[str] = []
+        for target in statement.targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        names.append(element.id)
+                    else:
+                        return None
+            else:
+                return None
+        return tuple(names)
+
+    @staticmethod
+    def _contains(container: ast.AST, node: ast.AST) -> bool:
+        """Whether ``node`` appears inside ``container``'s subtree."""
+        return any(child is node for child in ast.walk(container))
+
+    def _leak(self, ctx: FileContext, node: ast.Call, kind: str, why: str) -> None:
+        """File one resource-leak finding."""
+        ctx.report(
+            self.rule_id,
+            node,
+            self.severity,
+            f"{kind} created but {why}",
+            suggestion="use a context manager, store it on an owner with "
+            "close()/__exit__, or pair the creation with close/unlink/join "
+            "in a try/finally",
+        )

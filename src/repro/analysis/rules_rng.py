@@ -1,0 +1,66 @@
+"""REP005 — RNG discipline (no global numpy random state).
+
+Reproducibility of every experiment in this repo rests on seeded
+``np.random.Generator`` instances threaded through ``utils/rng.py``'s
+``ensure_rng``/``spawn_rngs``.  A single ``np.random.seed(...)`` or
+``np.random.uniform(...)`` reaches around that plumbing into process-global
+state: results then depend on import order, on which worker ran first, and
+on any third-party library that also pokes the global stream.  This rule
+bans the legacy global-state API everywhere except ``utils/rng.py`` itself
+(the one sanctioned shim over it).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import FileContext, call_name
+from repro.analysis.registry import LintRule, register_rule
+
+#: Attribute accesses under ``np.random`` that are explicitly fine: they
+#: construct *local* generator state rather than touching the global stream.
+_ALLOWED_TAILS = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+@register_rule
+class RngDisciplineRule(LintRule):
+    """Ban ``np.random.<global-state>`` outside the sanctioned rng module."""
+
+    rule_id = "REP005"
+    title = "rng-discipline: no global np.random state outside utils/rng.py"
+    severity = "error"
+    exclude = ("utils/rng.py",)
+
+    def check_file(self, ctx: FileContext) -> None:
+        """Flag calls on the legacy global-state ``np.random`` API."""
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) < 3 or parts[0] not in ("np", "numpy") or parts[1] != "random":
+                continue
+            tail = parts[2]
+            if tail in _ALLOWED_TAILS:
+                continue
+            ctx.report(
+                self.rule_id,
+                node,
+                self.severity,
+                f"np.random.{tail}() mutates/reads process-global RNG state",
+                suggestion="take a seeded np.random.Generator (utils.rng."
+                "ensure_rng / spawn_rngs) and call the method on it",
+            )

@@ -1,0 +1,220 @@
+"""REP003 — the columnar schema contract, checked across modules.
+
+Every layer boundary speaks :class:`~repro.data.schema.ColumnarBatch`
+subclasses whose columns are *declared* in ``COLUMNS`` specs.  This rule
+builds the project-wide schema model (:class:`~repro.analysis.context.
+ProjectContext.batch_classes`) and enforces three contracts:
+
+1. **Declaration** — every ``ColumnSpec`` in a class's ``COLUMNS`` names an
+   annotated field of that class (a spec for a column the dataclass doesn't
+   carry validates nothing).
+2. **Consumption** — an attribute read on a value statically known to be a
+   batch (annotated parameter, or assigned from a batch constructor /
+   classmethod) must be a declared column, field, method, property or
+   inherited API member.  A typo'd column name fails lint instead of
+   becoming a runtime ``AttributeError`` three processes deep.
+3. **Production** — when a batch constructor is handed a freshly allocated
+   numpy array with an explicit ``dtype=``, that dtype must agree with the
+   column's declared kind (``int`` columns get integer dtypes, ``id``
+   columns get strings, ...), so producer and consumer can never disagree
+   about a column's wire type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Union
+
+from repro.analysis.context import (
+    FileContext,
+    ProjectContext,
+    call_name,
+    keyword_value,
+)
+from repro.analysis.registry import LintRule, register_rule
+
+#: dtype expressions (rendered via ``ast.unparse``) compatible with each
+#: ``ColumnSpec`` kind.  Matching is on the dotted tail, so ``np.int64`` and
+#: ``numpy.int64`` both resolve to ``int64``.
+_KIND_DTYPES = {
+    "int": {"int", "int8", "int16", "int32", "int64", "intp"},
+    "float": {"float", "float32", "float64", "floating", "double"},
+    "bool": {"bool", "bool_"},
+    "id": {"str", "str_", "unicode_"},
+}
+
+#: Numpy constructors whose explicit ``dtype=`` argument is checkable.
+_NP_CONSTRUCTORS = {"zeros", "empty", "ones", "full", "asarray", "array"}
+
+
+def _dtype_tail(expr: ast.expr) -> Optional[str]:
+    """Normalise a ``dtype=`` expression to its dotted tail (``int64``)."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    rendered = None
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        rendered = ast.unparse(expr)
+    if rendered is None:
+        return None
+    return rendered.split(".")[-1]
+
+
+@register_rule
+class SchemaContractRule(LintRule):
+    """Cross-module producer/consumer validation of ``ColumnSpec`` contracts."""
+
+    rule_id = "REP003"
+    title = "schema-contract: batch attribute reads and producer dtypes must match ColumnSpecs"
+    severity = "error"
+
+    def check_project(self, project: ProjectContext) -> None:
+        """Run the declaration check per class, then the consumer/producer
+        checks over every file that names a batch class."""
+        by_path: Dict[str, FileContext] = {ctx.relpath: ctx for ctx in project.files}
+        for info in project.batch_classes.values():
+            ctx = by_path.get(info.path)
+            if ctx is None or not self.applies_to(info.path):
+                continue
+            declared = set(info.fields) | info.class_attrs
+            # Only the *base* classes' API counts as inherited — the class's
+            # own specs must not vouch for themselves.
+            inherited = set()
+            for base in info.bases:
+                inherited |= project.class_api(base)
+            for column in info.specs:
+                if column not in declared and column not in inherited:
+                    ctx.report_line(
+                        self.rule_id,
+                        info.line,
+                        self.severity,
+                        f"ColumnSpec {column!r} on {info.name} has no matching "
+                        "declared field",
+                        suggestion="declare the column as an annotated dataclass "
+                        "field or drop the spec",
+                    )
+        for ctx in project.files:
+            if ctx.tree is None or not self.applies_to(ctx.relpath):
+                continue
+            self._check_consumers(project, ctx)
+
+    # ------------------------------------------------------------ helpers
+    def _check_consumers(self, project: ProjectContext, ctx: FileContext) -> None:
+        """Validate attribute reads and constructor dtypes in one module."""
+        for func in ctx.functions():
+            bindings: Dict[str, str] = {}
+            args = func.args
+            all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            for arg in all_args:
+                cls = project.annotation_class(arg.annotation)
+                if cls is not None:
+                    bindings[arg.arg] = cls
+            if all_args and all_args[0].arg == "self":
+                enclosing = self._enclosing_batch_class(project, ctx, func)
+                if enclosing is not None:
+                    bindings["self"] = enclosing
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    cls = self._constructed_class(project, node.value)
+                    if cls is not None:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                bindings[target.id] = cls
+            if not bindings:
+                self._check_constructors(project, ctx, func)
+                continue
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in bindings
+                ):
+                    cls = bindings[node.value.id]
+                    attr = node.attr
+                    if attr.startswith("__") or attr in project.class_api(cls):
+                        continue
+                    ctx.report(
+                        self.rule_id,
+                        node,
+                        self.severity,
+                        f"attribute {attr!r} read on {cls} is not a declared "
+                        "column, field or method",
+                        suggestion=f"declare {attr!r} in {cls}'s ColumnSpecs/fields "
+                        "or fix the attribute name",
+                    )
+            self._check_constructors(project, ctx, func)
+
+    def _enclosing_batch_class(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    ) -> Optional[str]:
+        """The batch class whose body directly contains ``func``, if any."""
+        if ctx.tree is None:
+            return None
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and func in node.body:
+                if node.name in project.batch_classes:
+                    return node.name
+        return None
+
+    def _constructed_class(
+        self, project: ProjectContext, call: ast.Call
+    ) -> Optional[str]:
+        """The batch class a call constructs (``Cls(...)`` / ``Cls.from_*``)."""
+        name = call_name(call)
+        if name is None:
+            return None
+        head = name.split(".")[0]
+        if head in project.batch_classes:
+            return head
+        return None
+
+    def _check_constructors(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    ) -> None:
+        """Check explicit producer dtypes against declared column kinds."""
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or name not in project.batch_classes:
+                continue  # direct constructor calls only (not classmethods)
+            info = project.batch_classes[name]
+            for kw in node.keywords:
+                if kw.arg is None or kw.arg not in info.specs:
+                    continue
+                dtype_expr = self._np_call_dtype(kw.value)
+                if dtype_expr is None:
+                    continue
+                tail = _dtype_tail(dtype_expr)
+                kind = info.specs[kw.arg]
+                allowed = _KIND_DTYPES.get(kind, set())
+                if tail is not None and allowed and tail not in allowed:
+                    ctx.report(
+                        self.rule_id,
+                        kw.value,
+                        self.severity,
+                        f"column {kw.arg!r} of {name} is declared {kind!r} but "
+                        f"the producer allocates dtype {tail}",
+                        suggestion=f"allocate with a dtype matching the declared "
+                        f"{kind!r} kind (e.g. "
+                        f"{sorted(allowed)[0] if allowed else 'the spec dtype'})",
+                    )
+
+    @staticmethod
+    def _np_call_dtype(expr: ast.expr) -> Optional[ast.expr]:
+        """The explicit ``dtype=`` of a numpy constructor expression."""
+        if not isinstance(expr, ast.Call):
+            return None
+        name = call_name(expr)
+        if name is None or "." not in name:
+            return None
+        alias, _, func_name = name.rpartition(".")
+        if alias not in ("np", "numpy") or func_name not in _NP_CONSTRUCTORS:
+            return None
+        return keyword_value(expr, "dtype")

@@ -1,0 +1,164 @@
+"""REP002 — zero-copy discipline on the transport paths.
+
+The shared-memory transport's whole value is that array payloads cross
+process boundaries exactly once, as bytes in a ring segment — never through
+a pickle, a ``deepcopy``, a ``tolist()`` materialisation or a list-of-dict
+rebuild.  Inside the data plane and the sharded transport, this rule bans
+the copy/serialise vocabulary outright, and requires every function that
+parks a batch in a ring (``to_shm``/``write_batch``) to run the
+``assert_zero_copy`` no-pickle guard before the header leaves the process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Union
+
+from repro.analysis.context import FileContext, call_name
+from repro.analysis.registry import LintRule, register_rule
+
+#: Dotted callee names that serialise or copy payloads.
+_FORBIDDEN_CALLS = {
+    "pickle.dumps": "pickles an array payload",
+    "pickle.loads": "unpickles a payload",
+    "pickle.dump": "pickles an array payload",
+    "pickle.load": "unpickles a payload",
+    "copy.deepcopy": "deep-copies a payload",
+    "deepcopy": "deep-copies a payload",
+    "np.copy": "copies an array",
+    "numpy.copy": "copies an array",
+}
+
+#: Attribute-call tails that materialise python objects from arrays.
+_FORBIDDEN_METHODS = {"tolist": "materialises a python list from an array"}
+
+#: Calls that park a batch in a shared-memory ring (send paths).
+_SEND_CALLS = {"to_shm", "write_batch"}
+
+#: The guard every send path must run.
+_GUARD = "assert_zero_copy"
+
+
+def _is_delegation(
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> bool:
+    """Whether the function body is a bare ``return <send call>`` delegation.
+
+    ``ColumnarBatch.to_shm`` is just ``return buffer.write_batch(self)`` —
+    the guard runs inside ``write_batch`` itself, one level down, so a pure
+    delegation is exempt from the in-body guard requirement.
+    """
+    body = list(func.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]  # docstring
+    if len(body) != 1 or not isinstance(body[0], ast.Return):
+        return False
+    value = body[0].value
+    if not isinstance(value, ast.Call):
+        return False
+    name = call_name(value)
+    return name is not None and name.split(".")[-1] in _SEND_CALLS
+
+
+@register_rule
+class ZeroCopyRule(LintRule):
+    """Ban copy/serialise calls and unguarded sends on the transport paths."""
+
+    rule_id = "REP002"
+    title = "zero-copy: no pickle/deepcopy/tolist on transport paths; sends run assert_zero_copy"
+    severity = "error"
+    scope = ("data/", "serving/sharded.py")
+
+    def check_file(self, ctx: FileContext) -> None:
+        """Flag serialising imports/calls, list-of-dict materialisation, and
+        send-path functions that never run the no-pickle guard."""
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "pickle":
+                        ctx.report(
+                            self.rule_id,
+                            node,
+                            self.severity,
+                            "pickle imported on a zero-copy transport path",
+                            suggestion="move array payloads through shared memory; "
+                            "headers must stay plain scalars",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "pickle":
+                    ctx.report(
+                        self.rule_id,
+                        node,
+                        self.severity,
+                        "pickle imported on a zero-copy transport path",
+                        suggestion="move array payloads through shared memory",
+                    )
+            elif isinstance(node, ast.Call):
+                self._check_call(ctx, node)
+            elif isinstance(node, ast.ListComp) and isinstance(node.elt, ast.Dict):
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    self.severity,
+                    "list-of-dict materialisation on a zero-copy transport path",
+                    suggestion="keep rows columnar (struct-of-arrays); build dicts "
+                    "only at diagnostic boundaries",
+                )
+        for func in ctx.functions():
+            self._check_send_path(ctx, func)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> None:
+        """Flag one call if it serialises or copies a payload."""
+        name = call_name(node)
+        if name is not None:
+            if name in _FORBIDDEN_CALLS:
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    self.severity,
+                    f"{name}() {_FORBIDDEN_CALLS[name]} on a zero-copy transport path",
+                    suggestion="map numpy views onto the shared segment instead of "
+                    "copying or serialising",
+                )
+                return
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _FORBIDDEN_METHODS:
+            ctx.report(
+                self.rule_id,
+                node,
+                self.severity,
+                f".{node.func.attr}() {_FORBIDDEN_METHODS[node.func.attr]} "
+                "on a zero-copy transport path",
+                suggestion="operate on the array directly; materialise python "
+                "objects only at legacy adapter boundaries (and suppress there "
+                "with a justification)",
+            )
+
+    def _check_send_path(
+        self, ctx: FileContext, func: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        """Require ``assert_zero_copy`` in any function that sends a batch."""
+        send_calls: List[ast.Call] = []
+        guarded = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            tail = name.split(".")[-1]
+            if tail in _SEND_CALLS:
+                send_calls.append(node)
+            if tail == _GUARD:
+                guarded = True
+        if send_calls and not guarded and not _is_delegation(func):
+            ctx.report(
+                self.rule_id,
+                send_calls[0],
+                self.severity,
+                f"send path {func.name}() parks a batch in shared memory but "
+                f"never runs {_GUARD}()",
+                suggestion="call header.assert_zero_copy() before the header "
+                "crosses the process boundary",
+            )

@@ -32,18 +32,22 @@ class SetpointTrace:
 
     @property
     def num_runs(self) -> int:
+        """Number of repeated runs in the trace."""
         return self.setpoints.shape[0]
 
     @property
     def num_steps(self) -> int:
+        """Number of timesteps each run covers."""
         return self.setpoints.shape[1]
 
     @property
     def mean(self) -> np.ndarray:
+        """Per-timestep mean setpoint across runs."""
         return self.setpoints.mean(axis=0)
 
     @property
     def std(self) -> np.ndarray:
+        """Per-timestep setpoint standard deviation across runs."""
         return self.setpoints.std(axis=0)
 
 
@@ -59,6 +63,7 @@ class StochasticityReport:
 
     @staticmethod
     def from_trace(trace: SetpointTrace, probe_step: Optional[int] = None) -> "StochasticityReport":
+        """Summarise one trace (probe defaults to the middle timestep)."""
         std = trace.std
         probe = probe_step if probe_step is not None else trace.num_steps // 2
         probe = min(max(probe, 0), trace.num_steps - 1)

@@ -1,0 +1,84 @@
+"""Per-line ``# reprolint: disable=RULE`` suppression comments.
+
+A violation that is deliberate — a legacy adapter that must materialise a
+list, an intentionally dtype-preserving ``np.asarray`` — is silenced *at the
+line*, with the justification sitting right next to it in a comment, instead
+of disappearing into a baseline file nobody reads.  Forms::
+
+    x = value.tolist()  # reprolint: disable=REP002 -- legacy adapter contract
+    y = np.asarray(v)   # reprolint: disable=REP001,REP003
+    z = risky()         # reprolint: disable=all
+
+    # reprolint: disable=REP001 -- a standalone directive (optionally the
+    # first line of a longer justification block) covers the next code line.
+    w = np.asarray(v)
+
+Suppressions are matched against every physical line a flagged AST node
+spans, so a trailing comment on the first line of a multi-line call works
+the way an author expects; a directive on its own comment line carries
+forward past the rest of its comment block to the first code line below.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+#: Matches the suppression directive inside a comment.  Everything after the
+#: rule list (e.g. an ``-- explanation``) is ignored, encouraging inline
+#: justifications.
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule ids (``{"all"}`` for all).
+
+    Tokenizes rather than regex-scanning raw lines so directives inside
+    string literals are never mistaken for suppressions.  A directive in a
+    *standalone* comment (nothing but the comment on its line) is carried
+    forward to the first following code line, skipping the rest of its
+    comment block and blank lines.  Unreadable source (the caller reports
+    syntax errors separately) yields no suppressions.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if not match:
+                continue
+            rules = {
+                part.strip().upper() if part.strip().lower() != "all" else "all"
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            line = token.start[0]
+            suppressions.setdefault(line, set()).update(rules)
+            if token.line.lstrip().startswith("#"):
+                # Standalone directive: also covers the next code line.
+                target = line + 1
+                while target <= len(lines):
+                    text = lines[target - 1].strip()
+                    if text and not text.startswith("#"):
+                        break
+                    target += 1
+                suppressions.setdefault(target, set()).update(rules)
+    except tokenize.TokenError:
+        pass
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, Set[str]], rule: str, first_line: int, last_line: int
+) -> bool:
+    """Whether ``rule`` is disabled on any line the flagged node spans."""
+    for line in range(first_line, max(last_line, first_line) + 1):
+        rules = suppressions.get(line)
+        if rules and ("all" in rules or rule.upper() in rules):
+            return True
+    return False

@@ -84,7 +84,7 @@ class OccupancySchedule:
         """Pre-compute occupancy for every timestep of a simulation."""
         rng = ensure_rng(seed) if seed is not None else None
         n = simulation.total_steps
-        counts = np.zeros(n)
+        counts = np.zeros(n, dtype=np.float64)
         occupied = np.zeros(n, dtype=bool)
         for i in range(n):
             day = i // simulation.steps_per_day

@@ -75,12 +75,17 @@ class ThermalNetwork:
         self._index = zone_index_map(self.zones)
 
         n = len(self.zones)
-        self._capacitance = np.array([z.thermal_capacitance_j_per_k for z in self.zones])
-        self._envelope_ua = np.array([z.envelope_ua_w_per_k for z in self.zones])
-        self._infiltration_per_wind = np.array(
-            [z.infiltration_ua_per_wind_w_per_k_per_ms for z in self.zones]
+        self._capacitance = np.array(
+            [z.thermal_capacitance_j_per_k for z in self.zones], dtype=np.float64
         )
-        self._coupling_matrix = np.zeros((n, n))
+        self._envelope_ua = np.array(
+            [z.envelope_ua_w_per_k for z in self.zones], dtype=np.float64
+        )
+        self._infiltration_per_wind = np.array(
+            [z.infiltration_ua_per_wind_w_per_k_per_ms for z in self.zones],
+            dtype=np.float64,
+        )
+        self._coupling_matrix = np.zeros((n, n), dtype=np.float64)
         for coupling in self.couplings:
             if coupling.zone_a not in self._index or coupling.zone_b not in self._index:
                 raise KeyError(
@@ -101,7 +106,7 @@ class ThermalNetwork:
 
     def initial_state(self, temperature_c: float = 20.0) -> ThermalState:
         """A uniform-temperature initial state."""
-        return ThermalState(np.full(len(self.zones), float(temperature_c)))
+        return ThermalState(np.full(len(self.zones), float(temperature_c), dtype=np.float64))
 
     def step(
         self,
@@ -121,7 +126,7 @@ class ThermalNetwork:
             raise ValueError("duration_seconds must be positive")
         temps = state.temperatures.copy()
         n = len(self.zones)
-        gain_vector = np.zeros(n)
+        gain_vector = np.zeros(n, dtype=np.float64)
         for name, zone_gains in gains.items():
             gain_vector[self._index[name]] = zone_gains.total_w
 
@@ -202,7 +207,7 @@ class ThermalNetwork:
         state equals the outdoor temperature in every zone.
         """
         n = len(self.zones)
-        gain_vector = np.zeros(n)
+        gain_vector = np.zeros(n, dtype=np.float64)
         for name, zone_gains in gains.items():
             gain_vector[self._index[name]] = zone_gains.total_w
         effective_ua = self._envelope_ua + self._infiltration_per_wind * max(wind_speed_ms, 0.0)

@@ -36,9 +36,25 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+from numpy.typing import NDArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.server import PolicyResponse
 
 #: The float dtypes the data plane understands. ``float64`` is the bit-exact
 #: reference; ``float32`` is the opt-in inference fast path.
@@ -89,7 +105,7 @@ class ColumnSpec:
     ndim: int = 1
     required: bool = True
 
-    def coerce(self, value: np.ndarray) -> np.ndarray:
+    def coerce(self, value: NDArray[Any]) -> NDArray[Any]:
         """Coerce one column to its declared dtype/rank (contiguous, validated).
 
         Float columns preserve float32/float64 and coerce anything else to
@@ -97,6 +113,8 @@ class ColumnSpec:
         arrays.  Raises :class:`ValueError` on a rank mismatch.
         """
         if self.kind == "float":
+            # reprolint: disable=REP001 -- dtype-preserving by design: float32
+            # stays float32 (the fast path); everything else coerces below.
             array = np.asarray(value)
             if array.dtype not in FLOAT_DTYPES:
                 array = array.astype(np.float64)
@@ -105,9 +123,11 @@ class ColumnSpec:
         elif self.kind == "bool":
             array = np.asarray(value, dtype=bool)
         elif self.kind == "id":
-            array = np.asarray(value)
+            array = np.asarray(value)  # reprolint: disable=REP001 -- dtype inspected next line
             if array.dtype.kind not in "US":
-                array = np.asarray([str(v) for v in np.atleast_1d(array)])
+                array = np.asarray(
+                    [str(v) for v in np.atleast_1d(array)], dtype=np.str_
+                )
         else:  # pragma: no cover - specs are module-level constants
             raise ValueError(f"Unknown column kind {self.kind!r}")
         if array.ndim != self.ndim:
@@ -160,7 +180,7 @@ class ColumnarBatch:
         """Shared row count of every present column (``len(batch)``)."""
         return self._rows
 
-    def columns(self) -> Dict[str, np.ndarray]:
+    def columns(self) -> Dict[str, NDArray[Any]]:
         """The present columns as a name -> array mapping (no copies)."""
         return {
             spec.name: getattr(self, spec.name)
@@ -176,11 +196,15 @@ class ColumnarBatch:
             if f.name not in column_names
         }
 
-    def _rebuild(self, columns: Dict[str, Optional[np.ndarray]]) -> "ColumnarBatch":
+    def _rebuild(self, columns: Dict[str, Optional[NDArray[Any]]]) -> "ColumnarBatch":
         return type(self)(**columns, **self._metadata())
 
     # ------------------------------------------------------------- row verbs
-    def _getitem_rows(self, item, scalar):
+    def _getitem_rows(
+        self,
+        item: Union[int, slice, Sequence[int], NDArray[Any]],
+        scalar: Callable[[int], Any],
+    ) -> Any:
         """Shared ``__getitem__`` body: rows only, loud on anything else.
 
         ``scalar`` materialises one row for an integer index; slices (any
@@ -202,8 +226,10 @@ class ColumnarBatch:
             return self.take(np.arange(*item.indices(len(self))))
         return self.take(item)
 
-    def take(self, indices: Union[Sequence[int], np.ndarray]) -> "ColumnarBatch":
+    def take(self, indices: Union[Sequence[int], NDArray[Any]]) -> "ColumnarBatch":
         """A new batch holding the given rows (fancy-indexed copy)."""
+        # reprolint: disable=REP001 -- indices may be an int array or a bool
+        # mask; both must keep their dtype for fancy indexing to mean the same.
         indices = np.asarray(indices)
         return self._rebuild(
             {
@@ -266,7 +292,7 @@ class ColumnarBatch:
                 raise TypeError(f"Cannot concat {type(other).__name__} into {cls.__name__}")
             if other._metadata() != first._metadata():
                 raise ValueError("Cannot concat batches with different metadata")
-        columns: Dict[str, Optional[np.ndarray]] = {}
+        columns: Dict[str, Optional[NDArray[Any]]] = {}
         for spec in cls.COLUMNS:
             values = [getattr(batch, spec.name) for batch in batches]
             if any(v is None for v in values):
@@ -298,7 +324,7 @@ class ObservationBatch(ColumnarBatch):
     every legacy call site that expected a plain ``(B, F)`` array.
     """
 
-    values: np.ndarray
+    values: NDArray[Any]
     feature_names: Tuple[str, ...] = OBSERVATION_FEATURES
 
     COLUMNS = (ColumnSpec("values", kind="float", ndim=2),)
@@ -322,7 +348,7 @@ class ObservationBatch(ColumnarBatch):
         """Float dtype of ``values`` (float64 reference or float32 fast path)."""
         return self.values.dtype
 
-    def column(self, name: str) -> np.ndarray:
+    def column(self, name: str) -> NDArray[Any]:
         """One named feature column as a zero-copy ``(B,)`` view."""
         try:
             index = self.feature_names.index(name)
@@ -341,20 +367,22 @@ class ObservationBatch(ColumnarBatch):
             self.values.astype(resolved), feature_names=self.feature_names
         )
 
-    def __array__(self, dtype=None) -> np.ndarray:
+    def __array__(self, dtype: Any = None) -> NDArray[Any]:
         return self.values if dtype is None else self.values.astype(dtype, copy=False)
 
-    def __getitem__(self, item):
+    def __getitem__(self, item: Union[int, slice, Sequence[int], NDArray[Any]]) -> Any:
         """Integer -> one observation row; slice/index array -> a sub-batch."""
         return self._getitem_rows(item, lambda index: self.values[index])
 
     @classmethod
     def from_rows(
         cls,
-        rows: Union[np.ndarray, Sequence[Sequence[float]]],
+        rows: Union[NDArray[Any], Sequence[Sequence[float]]],
         feature_names: Optional[Sequence[str]] = None,
     ) -> "ObservationBatch":
         """Build from any (B, F) row collection (lists, stacked arrays, ...)."""
+        # reprolint: disable=REP001 -- dtype-preserving on purpose: float32
+        # rows stay float32; ColumnSpec.coerce applies the float policy below.
         values = np.atleast_2d(np.asarray(rows))
         if feature_names is None:
             if values.shape[1] == len(OBSERVATION_FEATURES):
@@ -372,9 +400,9 @@ class ActionBatch(ColumnarBatch):
     drop-in replacement wherever a plain index array was passed before.
     """
 
-    indices: np.ndarray
-    heating_setpoints: Optional[np.ndarray] = None
-    cooling_setpoints: Optional[np.ndarray] = None
+    indices: NDArray[Any]
+    heating_setpoints: Optional[NDArray[Any]] = None
+    cooling_setpoints: Optional[NDArray[Any]] = None
 
     COLUMNS = (
         ColumnSpec("indices", kind="int"),
@@ -387,7 +415,7 @@ class ActionBatch(ColumnarBatch):
         """Whether both resolved setpoint columns are present."""
         return self.heating_setpoints is not None and self.cooling_setpoints is not None
 
-    def with_setpoints(self, action_pairs: np.ndarray) -> "ActionBatch":
+    def with_setpoints(self, action_pairs: NDArray[Any]) -> "ActionBatch":
         """Resolve setpoint columns by gathering from an (A, 2) pair table."""
         pairs = np.asarray(action_pairs, dtype=np.float64)[self.indices]
         return ActionBatch(
@@ -396,18 +424,20 @@ class ActionBatch(ColumnarBatch):
             cooling_setpoints=pairs[:, 1],
         )
 
-    def __array__(self, dtype=None) -> np.ndarray:
+    def __array__(self, dtype: Any = None) -> NDArray[Any]:
         return self.indices if dtype is None else self.indices.astype(dtype, copy=False)
 
     def tolist(self) -> List[int]:
         """The action indices as a plain python list (legacy adapter)."""
+        # reprolint: disable=REP002 -- legacy adapter boundary: serial-era
+        # callers want a python list; nothing on the shm transport calls this.
         return self.indices.tolist()
 
-    def __getitem__(self, item):
+    def __getitem__(self, item: Union[int, slice, Sequence[int], NDArray[Any]]) -> Any:
         return self._getitem_rows(item, lambda index: int(self.indices[index]))
 
     @classmethod
-    def from_indices(cls, indices: Union[np.ndarray, Sequence[int]]) -> "ActionBatch":
+    def from_indices(cls, indices: Union[NDArray[Any], Sequence[int]]) -> "ActionBatch":
         """Build from any 1-d collection of action indices (coerced to int64)."""
         return cls(np.atleast_1d(np.asarray(indices, dtype=np.int64)))
 
@@ -424,17 +454,17 @@ class InfoBatch(ColumnarBatch):
     """
 
     step: int
-    hour_of_day: np.ndarray
-    occupied: np.ndarray
-    heating_setpoint: Optional[np.ndarray] = None
-    cooling_setpoint: Optional[np.ndarray] = None
-    zone_temperature: Optional[np.ndarray] = None
-    hvac_electric_energy_kwh: Optional[np.ndarray] = None
-    heating_energy_kwh: Optional[np.ndarray] = None
-    cooling_energy_kwh: Optional[np.ndarray] = None
-    energy_proxy: Optional[np.ndarray] = None
-    comfort_violation: Optional[np.ndarray] = None
-    comfort_violated: Optional[np.ndarray] = None
+    hour_of_day: NDArray[Any]
+    occupied: NDArray[Any]
+    heating_setpoint: Optional[NDArray[Any]] = None
+    cooling_setpoint: Optional[NDArray[Any]] = None
+    zone_temperature: Optional[NDArray[Any]] = None
+    hvac_electric_energy_kwh: Optional[NDArray[Any]] = None
+    heating_energy_kwh: Optional[NDArray[Any]] = None
+    cooling_energy_kwh: Optional[NDArray[Any]] = None
+    energy_proxy: Optional[NDArray[Any]] = None
+    comfort_violation: Optional[NDArray[Any]] = None
+    comfort_violated: Optional[NDArray[Any]] = None
 
     COLUMNS = (
         ColumnSpec("hour_of_day", kind="float"),
@@ -464,25 +494,25 @@ class InfoBatch(ColumnarBatch):
     def __iter__(self) -> Iterator[str]:
         return iter(self.keys())
 
-    def __getitem__(self, key: str) -> Union[int, np.ndarray]:
+    def __getitem__(self, key: str) -> Union[int, NDArray[Any]]:
         if key == "step":
             return self.step
         if key not in self.keys():
             raise KeyError(key)
         return getattr(self, key)
 
-    def items(self) -> List[Tuple[str, Union[int, np.ndarray]]]:
+    def items(self) -> List[Tuple[str, Union[int, NDArray[Any]]]]:
         """``(key, value)`` pairs over :meth:`keys` (dict-protocol adapter)."""
         return [(key, self[key]) for key in self.keys()]
 
-    def get(self, key: str, default=None):
+    def get(self, key: str, default: Any = None) -> Any:
         """``dict.get`` semantics over the present info keys."""
         try:
             return self[key]
         except KeyError:
             return default
 
-    def to_dict(self) -> Dict[str, Union[int, np.ndarray]]:
+    def to_dict(self) -> Dict[str, Union[int, NDArray[Any]]]:
         """The legacy dict-of-arrays view (diagnostics/serialisation only)."""
         return dict(self.items())
 
@@ -490,7 +520,11 @@ class InfoBatch(ColumnarBatch):
         """Materialise the serial-style info dict of one episode."""
         out: Dict[str, float] = {}
         for key, value in self.items():
-            out[key] = value if np.isscalar(value) else float(np.asarray(value)[index])
+            out[key] = (
+                value
+                if np.isscalar(value)
+                else float(np.asarray(value, dtype=np.float64)[index])
+            )
         return out
 
 
@@ -503,9 +537,9 @@ class PolicyRequestBatch(ColumnarBatch):
     once and cached — no per-request python objects, no dict bucketing.
     """
 
-    policy_ids: np.ndarray
-    observations: np.ndarray
-    _grouping: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+    policy_ids: NDArray[Any]
+    observations: NDArray[Any]
+    _grouping: Optional[Tuple[NDArray[Any], NDArray[Any]]] = field(
         default=None, repr=False, compare=False
     )
 
@@ -517,7 +551,7 @@ class PolicyRequestBatch(ColumnarBatch):
     def _metadata(self) -> Dict[str, object]:
         return {}  # the grouping cache never survives a rebuild
 
-    def grouping(self) -> Tuple[np.ndarray, np.ndarray]:
+    def grouping(self) -> Tuple[NDArray[Any], NDArray[Any]]:
         """``(codes, unique_ids)``: integer policy codes per row, cached.
 
         ``codes[i]`` indexes ``unique_ids`` (sorted); computed with one
@@ -535,20 +569,24 @@ class PolicyRequestBatch(ColumnarBatch):
 
     @classmethod
     def single_policy(
-        cls, policy_id: str, observations: Union[np.ndarray, Sequence[Sequence[float]]]
+        cls, policy_id: str, observations: Union[NDArray[Any], Sequence[Sequence[float]]]
     ) -> "PolicyRequestBatch":
         """All rows bound for one policy (the common fleet-of-one case)."""
+        # reprolint: disable=REP001 -- dtype-preserving: float32 observations
+        # ride the float fast path untouched.
         observations = np.atleast_2d(np.asarray(observations))
         return cls(
+            # reprolint: disable=REP001 -- np.full must infer the unicode width
+            # from policy_id (an explicit np.str_ would truncate to <U1).
             policy_ids=np.full(len(observations), policy_id),
             observations=observations,
         )
 
     @classmethod
-    def from_requests(cls, requests: Sequence) -> "PolicyRequestBatch":
+    def from_requests(cls, requests: Sequence[Any]) -> "PolicyRequestBatch":
         """Adapter from legacy per-request objects (``PolicyRequest``)."""
         return cls(
-            policy_ids=np.asarray([r.policy_id for r in requests]),
+            policy_ids=np.asarray([r.policy_id for r in requests], dtype=np.str_),
             observations=np.asarray(
                 [r.observation for r in requests], dtype=np.float64
             ),
@@ -559,10 +597,10 @@ class PolicyRequestBatch(ColumnarBatch):
 class PolicyResponseBatch(ColumnarBatch):
     """The served decisions for one request batch, in request order."""
 
-    policy_ids: np.ndarray
-    action_indices: np.ndarray
-    heating_setpoints: np.ndarray
-    cooling_setpoints: np.ndarray
+    policy_ids: NDArray[Any]
+    action_indices: NDArray[Any]
+    heating_setpoints: NDArray[Any]
+    cooling_setpoints: NDArray[Any]
 
     COLUMNS = (
         ColumnSpec("policy_ids", kind="id"),
@@ -571,11 +609,11 @@ class PolicyResponseBatch(ColumnarBatch):
         ColumnSpec("cooling_setpoints", kind="int"),
     )
 
-    def setpoint_pairs(self) -> np.ndarray:
+    def setpoint_pairs(self) -> NDArray[Any]:
         """``(B, 2)`` (heating, cooling) pairs."""
         return np.column_stack([self.heating_setpoints, self.cooling_setpoints])
 
-    def to_responses(self) -> List:
+    def to_responses(self) -> List["PolicyResponse"]:
         """Adapter to legacy per-request ``PolicyResponse`` objects."""
         from repro.serving.server import PolicyResponse
 

@@ -40,9 +40,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Optional, Tuple, Type
+from typing import Any, Dict, Optional, Tuple, Type
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.data.schema import (
     ActionBatch,
@@ -337,7 +338,7 @@ class SharedMemoryColumnarBuffer:
                 f"Header describes segment {header.segment!r}, buffer is {self.name!r}"
             )
         batch_cls = BATCH_TYPES[header.batch_type]
-        columns: Dict[str, np.ndarray] = {}
+        columns: Dict[str, NDArray[Any]] = {}
         for segment in header.columns:
             if segment.offset + segment.nbytes > self.capacity:
                 raise ShmTransportError(

@@ -64,24 +64,24 @@ class TransitionDataset:
     def model_inputs(self) -> np.ndarray:
         """Matrix of (s, d, a) rows for dynamics-model training."""
         if not self._transitions:
-            return np.zeros((0, 0))
+            return np.zeros((0, 0), dtype=np.float64)
         return np.stack([t.model_input for t in self._transitions])
 
     def model_targets(self) -> np.ndarray:
         """Column vector of next-state targets."""
-        return np.array([[t.next_state] for t in self._transitions])
+        return np.array([[t.next_state] for t in self._transitions], dtype=np.float64)
 
     def policy_inputs(self) -> np.ndarray:
         """Matrix of (s, d) rows — the historical input distribution X."""
         if not self._transitions:
-            return np.zeros((0, 0))
+            return np.zeros((0, 0), dtype=np.float64)
         return np.stack([t.policy_input for t in self._transitions])
 
     def states(self) -> np.ndarray:
-        return np.array([t.state for t in self._transitions])
+        return np.array([t.state for t in self._transitions], dtype=np.float64)
 
     def actions(self) -> np.ndarray:
-        return np.array([t.action for t in self._transitions])
+        return np.array([t.action for t in self._transitions], dtype=np.float64)
 
     # ------------------------------------------------------------------ split
     def train_test_split(

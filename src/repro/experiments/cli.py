@@ -31,6 +31,7 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro.analysis.reprolint import add_lint_arguments, run_lint_command
 from repro.utils.serialization import save_json, to_jsonable
 from repro.utils.tables import format_table
 
@@ -681,6 +682,11 @@ _BENCH_TARGETS = {
 }
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint`` — run reprolint with the shared argument schema."""
+    return run_lint_command(args)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     payload = to_jsonable(_BENCH_TARGETS[args.target](args))
     print(json.dumps(payload, indent=2))
@@ -868,6 +874,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--output", default=None)
     bench.set_defaults(func=cmd_bench)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo's AST-based invariant linter",
+        description="Static analysis of the repro tree against its own "
+        "invariants: dtype policy, zero-copy transport, schema contracts, "
+        "resource ownership and RNG discipline.  Exits non-zero on any "
+        "finding not acknowledged by the committed baseline.",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

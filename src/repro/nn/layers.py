@@ -72,7 +72,7 @@ class DenseLayer:
         # He initialisation (good default for ReLU-family activations).
         scale = np.sqrt(2.0 / input_dim)
         self.weights = rng.normal(0.0, scale, size=(input_dim, output_dim))
-        self.bias = np.zeros(output_dim)
+        self.bias = np.zeros(output_dim, dtype=np.float64)
         self.activation_name = activation
         self._activation, self._activation_grad = ACTIVATIONS[activation]
         # Forward-pass caches used by backward().

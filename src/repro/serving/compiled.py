@@ -21,9 +21,10 @@ Both are verified action-for-action against the recursive traversal in
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.tree_policy import TreePolicy
 
@@ -32,14 +33,14 @@ LEAF = -1
 
 
 def _descend(
-    feature: np.ndarray,
-    threshold: np.ndarray,
-    left: np.ndarray,
-    right: np.ndarray,
-    inputs: np.ndarray,
-    nodes: np.ndarray,
+    feature: NDArray[Any],
+    threshold: NDArray[Any],
+    left: NDArray[Any],
+    right: NDArray[Any],
+    inputs: NDArray[Any],
+    nodes: NDArray[Any],
     max_depth: int,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Route every row of ``inputs`` from its start node down to a leaf.
 
     One iteration advances the still-internal rows one level.  The working
@@ -66,12 +67,12 @@ class CompiledTreePolicy:
 
     def __init__(
         self,
-        feature: np.ndarray,
-        threshold: np.ndarray,
-        left: np.ndarray,
-        right: np.ndarray,
-        leaf_action: np.ndarray,
-        action_pairs: np.ndarray,
+        feature: NDArray[Any],
+        threshold: NDArray[Any],
+        left: NDArray[Any],
+        right: NDArray[Any],
+        leaf_action: NDArray[Any],
+        action_pairs: NDArray[Any],
         n_features: int,
         depth: int,
         feature_names: Optional[Sequence[str]] = None,
@@ -118,12 +119,14 @@ class CompiledTreePolicy:
 
         _flatten(policy.tree.root)
         return cls(
-            feature=np.array(feature),
-            threshold=np.array(threshold),
-            left=np.array(left),
-            right=np.array(right),
-            leaf_action=np.array(leaf_action),
-            action_pairs=np.array([list(pair) for pair in policy.action_pairs]),
+            feature=np.array(feature, dtype=np.int32),
+            threshold=np.array(threshold, dtype=np.float64),
+            left=np.array(left, dtype=np.int32),
+            right=np.array(right, dtype=np.int32),
+            leaf_action=np.array(leaf_action, dtype=np.int64),
+            action_pairs=np.array(
+                [list(pair) for pair in policy.action_pairs], dtype=np.int64
+            ),
             n_features=policy.input_dim,
             depth=max(policy.depth, 1),
             feature_names=policy.feature_names,
@@ -146,7 +149,7 @@ class CompiledTreePolicy:
         """Rows of the ``(A, 2)`` (heating, cooling) action-pair table."""
         return len(self.action_pairs)
 
-    def _check_inputs(self, inputs: np.ndarray) -> np.ndarray:
+    def _check_inputs(self, inputs: NDArray[Any]) -> NDArray[Any]:
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
         if inputs.ndim != 2 or inputs.shape[1] != self.n_features:
             raise ValueError(
@@ -155,7 +158,7 @@ class CompiledTreePolicy:
             )
         return inputs
 
-    def predict_batch(self, inputs: np.ndarray) -> np.ndarray:
+    def predict_batch(self, inputs: NDArray[Any]) -> NDArray[Any]:
         """Action indices for a batch of policy inputs, fully vectorised."""
         inputs = self._check_inputs(inputs)
         nodes = _descend(
@@ -169,11 +172,11 @@ class CompiledTreePolicy:
         )
         return self.leaf_action[nodes]
 
-    def setpoints_batch(self, inputs: np.ndarray) -> np.ndarray:
+    def setpoints_batch(self, inputs: NDArray[Any]) -> NDArray[Any]:
         """(heating, cooling) setpoint pairs for a batch, shape ``(rows, 2)``."""
         return self.action_pairs[self.predict_batch(inputs)]
 
-    def predict_action_index(self, policy_input: np.ndarray) -> int:
+    def predict_action_index(self, policy_input: NDArray[Any]) -> int:
         """Single-request convenience mirroring ``TreePolicy.predict_action_index``."""
         return int(self.predict_batch(np.asarray(policy_input, dtype=float).reshape(1, -1))[0])
 
@@ -198,7 +201,7 @@ class CompiledTreeForest:
         offsets = np.cumsum([0] + [p.node_count for p in policies[:-1]])
         self.roots = offsets.astype(np.int64)
 
-        def _shift(arrays: List[np.ndarray]) -> np.ndarray:
+        def _shift(arrays: List[NDArray[Any]]) -> NDArray[Any]:
             shifted = [
                 np.where(arr == LEAF, LEAF, arr + offset)
                 for arr, offset in zip(arrays, offsets)
@@ -222,7 +225,7 @@ class CompiledTreeForest:
         """Tree count B (``predict_rows`` expects ``(B, n_features)`` inputs)."""
         return len(self.policies)
 
-    def predict_rows(self, inputs: np.ndarray) -> np.ndarray:
+    def predict_rows(self, inputs: NDArray[Any]) -> NDArray[Any]:
         """Row ``i`` of ``inputs`` through tree ``i``; returns action indices."""
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
         if inputs.shape != (self.size, self.n_features):

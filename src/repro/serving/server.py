@@ -68,7 +68,7 @@ class ServerStats:
     evictions: int = 0
     per_policy_requests: Dict[str, int] = field(default_factory=dict)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         """The counters as a JSON-ready dict (plus derived ``unique_policies``)."""
         return {
             "requests": self.requests,

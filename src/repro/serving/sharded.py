@@ -37,10 +37,12 @@ import os
 import signal
 import time
 import zlib
+from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as connection_wait
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.data import PolicyRequestBatch, PolicyResponseBatch
 from repro.data.shm import DEFAULT_CAPACITY, SharedMemoryColumnarBuffer, ShmTransportError
@@ -69,7 +71,7 @@ def shard_for_policy(policy_id: str, num_shards: int) -> int:
     return zlib.crc32(str(policy_id).encode("utf-8")) % int(num_shards)
 
 
-def shard_rows(batch: PolicyRequestBatch, num_shards: int) -> np.ndarray:
+def shard_rows(batch: PolicyRequestBatch, num_shards: int) -> NDArray[Any]:
     """Per-row shard assignment for a request batch, shape ``(B,)``.
 
     Hashes only the batch's *unique* policy ids (via the cached integer
@@ -85,7 +87,7 @@ def shard_rows(batch: PolicyRequestBatch, num_shards: int) -> np.ndarray:
     return shard_by_policy[codes]
 
 
-def _sigterm_to_exit(signum, frame):  # pragma: no cover - runs in workers
+def _sigterm_to_exit(signum: int, frame: Any) -> None:  # pragma: no cover - runs in workers
     """Turn SIGTERM into SystemExit so worker ``finally`` blocks run."""
     raise SystemExit(0)
 
@@ -96,7 +98,7 @@ def _shard_worker_main(
     cache_size: int,
     request_ring_name: str,
     response_ring_name: str,
-    connection,
+    connection: Connection,
 ) -> None:
     """Worker entry point: one ``PolicyServer`` shard behind two shm rings.
 
@@ -228,8 +230,8 @@ class ShardedPolicyServer:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._context = multiprocessing.get_context(start_method)
-        self._workers: List = []
-        self._connections: List = []
+        self._workers: List[Any] = []
+        self._connections: List[Connection] = []
         self._sequences: List[int] = []
         self._request_rings: List[SharedMemoryColumnarBuffer] = []
         self._response_rings: List[SharedMemoryColumnarBuffer] = []
@@ -315,7 +317,7 @@ class ShardedPolicyServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - GC safety net
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
         except Exception:
@@ -343,7 +345,7 @@ class ShardedPolicyServer:
         replies = self._collect(expected, expected_kind="pong")
         return {shard: payload for shard, payload in replies.items()}
 
-    def stats(self) -> Dict:
+    def stats(self) -> Dict[str, Any]:
         """Aggregated serving counters across all shards.
 
         Sums the per-shard :class:`~repro.serving.server.ServerStats`

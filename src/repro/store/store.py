@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 import os
 
@@ -132,7 +132,7 @@ class PolicyKey:
     def relative_path(self) -> Path:
         return Path(self.city) / self.season / f"{self.key_id}.json"
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "city": self.city,
             "season": self.season,
@@ -142,7 +142,7 @@ class PolicyKey:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict) -> "PolicyKey":
+    def from_dict(cls, data: Dict[str, object]) -> "PolicyKey":
         return cls(
             city=str(data["city"]),
             season=str(data["season"]),
@@ -166,7 +166,7 @@ class StoreEntry:
     verified: bool
     fidelity: float
 
-    def as_row(self) -> List:
+    def as_row(self) -> List[object]:
         """One row of the ``repro policies`` listing."""
         return [
             self.key.name,
@@ -189,7 +189,7 @@ class StoredPolicy:
     entry: StoreEntry
     policy: "TreePolicy"
     verification: Optional[VerificationSummary]
-    pipeline_config: Dict
+    pipeline_config: Dict[str, Any]
     fidelity: float
     model_rmse: float
     model_mae: float
@@ -368,7 +368,7 @@ class PolicyStore:
 
     # ------------------------------------------------------------- internals
     @staticmethod
-    def _entry_from_artifact(artifact: Dict, path: Path) -> StoreEntry:
+    def _entry_from_artifact(artifact: Dict[str, Any], path: Path) -> StoreEntry:
         if artifact.get("kind") != ARTIFACT_KIND:
             raise ValueError(f"{path} is not a policy-store artifact")
         verification = artifact["content"].get("verification") or {}
