@@ -72,6 +72,7 @@ def all_rules() -> List[Type[LintRule]]:
         rules_resources,
         rules_rng,
         rules_schema,
+        rules_timeouts,
         rules_zero_copy,
     )
 

@@ -1,0 +1,165 @@
+"""REP006 — timeout discipline on serving control paths.
+
+The supervision layer's whole contract is "callers see latency, not hangs":
+a dead or wedged worker must surface as a bounded timeout the supervisor can
+act on, never as an indefinitely blocked parent.  One unguarded blocking
+primitive anywhere on the control path silently voids that contract — a
+bare ``connection.recv()`` in the worker loop blocks through a parent crash,
+a ``process.join()`` without a timeout turns ``close()`` back into the hang
+it exists to prevent, and ``connection.wait(conns)`` without a timeout waits
+on a dead worker forever.
+
+This rule enforces the discipline statically over the serving layer and the
+shm transport (``serving/``, ``data/shm.py``):
+
+* ``*.join()`` with neither arguments nor ``timeout=`` — a bare
+  process/thread join.  (``str.join`` always takes an argument, so zero-arg
+  joins are unambiguous.)
+* ``wait``-style calls without a bound: ``multiprocessing.connection.wait``
+  (any receiver spelling, or imported bare) needs ``timeout=`` or a second
+  positional; ``<something>.wait()`` (events, conditions, processes) needs
+  ``timeout=`` or a first positional.
+* ``*.recv()`` where the enclosing function never bounds that receiver with
+  a ``<same receiver>.poll(<timeout>)`` — ``Connection.recv`` has no timeout
+  parameter, so the only compliant shape is poll-then-recv.
+
+Bare ``sleep``/compute is out of scope: the rule targets primitives that
+block on *another process's* progress.  Intentional unbounded blocking (if
+ever needed) is a one-line justified suppression away.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.analysis.context import FileContext, dotted_name, has_keyword
+from repro.analysis.registry import LintRule, register_rule
+
+#: Bare-call names that are ``multiprocessing.connection.wait`` in disguise
+#: (the conventional ``from ... import wait as connection_wait`` aliases).
+_CONNECTION_WAIT_NAMES = {"wait", "connection_wait"}
+
+
+def _receiver(call: ast.Call) -> Optional[str]:
+    """The dotted receiver of an attribute call (``state.connection``)."""
+    if isinstance(call.func, ast.Attribute):
+        return dotted_name(call.func.value)
+    return None
+
+
+def _is_connection_wait(name: str) -> bool:
+    """Whether a dotted call name is ``multiprocessing.connection.wait``."""
+    parts = name.split(".")
+    if parts[-1] not in _CONNECTION_WAIT_NAMES:
+        return False
+    if len(parts) == 1:
+        return True  # bare `wait` / `connection_wait` import
+    # `connection.wait`, `mp.connection.wait`, `multiprocessing.connection.wait`
+    return parts[-2] in ("connection", "mpc")
+
+
+@register_rule
+class TimeoutDisciplineRule(LintRule):
+    """Blocking IPC primitives on serving control paths must carry a timeout."""
+
+    rule_id = "REP006"
+    title = "timeout-discipline: bounded blocking on serving control paths"
+    severity = "error"
+    scope = ("serving/", "data/shm.py")
+
+    def check_file(self, ctx: FileContext) -> None:
+        """Flag unbounded join/wait/recv calls (see the module docstring)."""
+        if ctx.tree is None:
+            return
+        scopes: List[Tuple[ast.AST, List[ast.Call]]] = [(ctx.tree, [])]
+        scopes.extend((fn, []) for fn in ctx.functions())
+        for scope_node, calls in scopes:
+            for node in ast.walk(scope_node):
+                if isinstance(node, ast.Call) and scope_node is self._scope_of(
+                    node, scopes
+                ):
+                    calls.append(node)
+        for _, calls in scopes:
+            self._check_scope(ctx, calls)
+
+    @staticmethod
+    def _scope_of(
+        node: ast.AST, scopes: List[Tuple[ast.AST, List[ast.Call]]]
+    ) -> ast.AST:
+        """The innermost function (or module) a node belongs to."""
+        best = scopes[0][0]
+        best_span = None
+        node_line = getattr(node, "lineno", 0)
+        for scope_node, _ in scopes[1:]:
+            first = scope_node.lineno
+            last = scope_node.end_lineno or first
+            if first <= node_line <= last:
+                span = last - first
+                if best_span is None or span < best_span:
+                    best, best_span = scope_node, span
+        return best
+
+    def _check_scope(self, ctx: FileContext, calls: List[ast.Call]) -> None:
+        """Apply the three checks within one function (or module) scope."""
+        # Receivers bounded by a `<receiver>.poll(<timeout>)` in this scope.
+        polled = {
+            _receiver(call)
+            for call in calls
+            if isinstance(call.func, ast.Attribute)
+            and call.func.attr == "poll"
+            and (call.args or has_keyword(call, "timeout"))
+        }
+        polled.discard(None)
+        for call in calls:
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            tail = name.split(".")[-1]
+            if tail == "join" and isinstance(call.func, ast.Attribute):
+                if not call.args and not call.keywords:
+                    ctx.report(
+                        self.rule_id,
+                        call,
+                        self.severity,
+                        f"{name}() blocks without a timeout on a serving "
+                        "control path",
+                        suggestion="pass timeout= and escalate "
+                        "(terminate/kill) when it expires",
+                    )
+            elif _is_connection_wait(name):
+                if not has_keyword(call, "timeout") and len(call.args) < 2:
+                    ctx.report(
+                        self.rule_id,
+                        call,
+                        self.severity,
+                        f"{name}(...) waits on connections without a timeout",
+                        suggestion="pass timeout= (remaining deadline budget) "
+                        "so a dead worker surfaces as a bounded failure",
+                    )
+            elif tail == "wait" and isinstance(call.func, ast.Attribute):
+                if not has_keyword(call, "timeout") and not call.args:
+                    ctx.report(
+                        self.rule_id,
+                        call,
+                        self.severity,
+                        f"{name}() blocks without a timeout on a serving "
+                        "control path",
+                        suggestion="pass a timeout (positional or timeout=) "
+                        "and handle expiry explicitly",
+                    )
+            elif tail == "recv" and isinstance(call.func, ast.Attribute):
+                if call.args or call.keywords:
+                    continue  # not the zero-arg Connection.recv shape
+                if _receiver(call) in polled:
+                    continue  # poll-then-recv: the poll carries the bound
+                ctx.report(
+                    self.rule_id,
+                    call,
+                    self.severity,
+                    f"{name}() blocks indefinitely; Connection.recv has no "
+                    "timeout parameter",
+                    suggestion="guard with `if not "
+                    f"{_receiver(call) or 'connection'}.poll(timeout): ...` "
+                    "before recv()",
+                )

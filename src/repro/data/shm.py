@@ -138,6 +138,12 @@ class ShmBatchHeader:
     segment: str
     columns: Tuple[ColumnSegment, ...]
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Ring generation the batch was written under.  The supervision layer
+    #: bumps a ring's generation every time it replaces a crashed shard's
+    #: rings; :meth:`SharedMemoryColumnarBuffer.read_batch` refuses headers
+    #: from any other generation, so a reply built against a dead
+    #: generation's ring layout is rejected rather than mis-read.
+    generation: int = 0
 
     @property
     def nbytes(self) -> int:
@@ -158,6 +164,7 @@ class ShmBatchHeader:
             _assert_plain((column.name, column.dtype, column.offset), "column header")
             _assert_plain(tuple(column.shape), "column shape")
         _assert_plain(self.metadata, f"{self.batch_type} metadata")
+        _assert_plain(self.generation, f"{self.batch_type} generation")
 
 
 def _align(offset: int) -> int:
@@ -179,25 +186,35 @@ class SharedMemoryColumnarBuffer:
         self,
         shm: shared_memory.SharedMemory,
         owner: bool,
+        generation: int = 0,
     ):
         self._shm = shm
         self._owner = owner
         self._head = 0
         self._closed = False
+        self._generation = int(generation)
 
     # ------------------------------------------------------------- lifecycle
     @classmethod
     def create(
-        cls, capacity: int = DEFAULT_CAPACITY, name: Optional[str] = None
+        cls,
+        capacity: int = DEFAULT_CAPACITY,
+        name: Optional[str] = None,
+        generation: int = 0,
     ) -> "SharedMemoryColumnarBuffer":
-        """Create and own a new segment of ``capacity`` bytes."""
+        """Create and own a new segment of ``capacity`` bytes.
+
+        ``generation`` is the fencing token stamped into every header this
+        ring writes (and required of every header it reads); the sharded
+        supervision layer bumps it each time a shard's rings are replaced.
+        """
         if capacity < ALIGNMENT:
             raise ValueError(f"capacity must be at least {ALIGNMENT} bytes")
         shm = shared_memory.SharedMemory(create=True, size=int(capacity), name=name)
-        return cls(shm, owner=True)
+        return cls(shm, owner=True, generation=generation)
 
     @classmethod
-    def attach(cls, name: str) -> "SharedMemoryColumnarBuffer":
+    def attach(cls, name: str, generation: int = 0) -> "SharedMemoryColumnarBuffer":
         """Attach to an existing segment by name (non-owning view).
 
         The attachment is unregistered from this process's
@@ -219,12 +236,17 @@ class SharedMemoryColumnarBuffer:
                 shm = shared_memory.SharedMemory(name=name)
             finally:
                 resource_tracker.register = original_register
-        return cls(shm, owner=False)
+        return cls(shm, owner=False, generation=generation)
 
     @property
     def name(self) -> str:
         """The segment name peers attach by."""
         return self._shm.name
+
+    @property
+    def generation(self) -> int:
+        """The fencing generation this ring writes into (and requires of) headers."""
+        return self._generation
 
     @property
     def capacity(self) -> int:
@@ -319,6 +341,7 @@ class SharedMemoryColumnarBuffer:
             segment=self.name,
             columns=tuple(segments),
             metadata=metadata,
+            generation=self._generation,
         )
         header.assert_zero_copy()
         return header
@@ -330,12 +353,21 @@ class SharedMemoryColumnarBuffer:
         view onto the segment: valid until the ring's single-producer writes
         its *next* batch, so consume (or ``copy=True``) before handing the
         ring back.  The batch type is resolved from :data:`BATCH_TYPES` —
-        nothing executable travels in the header.
+        nothing executable travels in the header.  A header stamped with a
+        different *generation* than this ring — a stale view of a shard
+        fleet that has since been restarted — is rejected outright rather
+        than risk mapping columns out of a reused segment layout.
         """
         header.assert_zero_copy()
         if header.segment != self.name:
             raise ShmTransportError(
                 f"Header describes segment {header.segment!r}, buffer is {self.name!r}"
+            )
+        if header.generation != self._generation:
+            raise ShmTransportError(
+                f"Header was written under ring generation {header.generation}, "
+                f"but this ring is generation {self._generation}; stale views of "
+                "a dead generation are never mapped"
             )
         batch_cls = BATCH_TYPES[header.batch_type]
         columns: Dict[str, NDArray[Any]] = {}

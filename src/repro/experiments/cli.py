@@ -21,6 +21,8 @@ Examples::
     python -m repro serve --requests 500000 --batch-size 8192 --shards 4
     python -m repro bench --target serve-columnar --rows 100000
     python -m repro bench --target serve-sharded --rows 200000 --shards 4
+    python -m repro bench --target serve-faults --rows 40000 --shards 4
+    python -m repro serve --shards 4 --retries 3 --degraded fallback
     python -m repro policies --verify
 """
 
@@ -266,6 +268,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             store=store,
             num_shards=args.shards,
             cache_size=args.cache_size,
+            timeout=args.timeout,
+            retries=args.retries,
+            degraded=args.degraded,
         )
     else:
         server = _resolve(PolicyServer, store=store, cache_size=args.cache_size)
@@ -327,6 +332,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
               round(wall, 4), round(summary["requests_per_second"], 1)]],
         )
     )
+    supervisor = stats.get("supervisor") if sharded else None
+    if supervisor:
+        # Fleet health: one row per shard from the supervisor's describe().
+        print(
+            format_table(
+                ["shard", "pid", "alive", "gen", "restarts", "heartbeat age s"],
+                [
+                    [
+                        shard,
+                        shard_state["pid"],
+                        str(shard_state["alive"]),
+                        shard_state["generation"],
+                        shard_state["restarts"],
+                        round(shard_state["last_heartbeat_age_seconds"], 2),
+                    ]
+                    for shard, shard_state in sorted(supervisor["shards"].items())
+                ],
+            )
+        )
+        fleet_counters = stats.get("fleet", {})
+        print(
+            f"fleet: restarts={supervisor['restarts']} "
+            f"retries={fleet_counters.get('retries', 0)} "
+            f"fallback_rows={fleet_counters.get('fallback_rows', 0)} "
+            f"lost_requests={fleet_counters.get('lost_requests', 0)}"
+        )
     if args.output:
         save_json(to_jsonable(summary), args.output)
         print(f"Wrote {args.output}")
@@ -673,12 +704,147 @@ def _bench_serve_sharded(args: argparse.Namespace) -> Dict:
     }
 
 
+def _bench_serve_faults(args: argparse.Namespace) -> Dict:
+    """Recovery under injected faults: kill one shard, hang another, mid-stream.
+
+    Streams mixed-building batches through a supervised fleet and, partway
+    through, injects a ``kill`` fault into one traffic-bearing shard and a
+    ``hang`` fault into another (see :mod:`repro.serving.faults`).  The fleet
+    must heal both without a single caller-visible error: the bench records
+    the latency of the faulted batches (the recovery time — restart + replay
+    + re-dispatch), the median healthy-batch latency for contrast, restart
+    and retry counters, and the two floor facts CI gates on: zero lost
+    requests and actions bit-identical to the single-process server.
+    Recovery time scales with core count (the restarted worker re-opens its
+    store under contention), so ``cpu_count`` is recorded and CI applies its
+    latency floor only on multi-core runners.
+    """
+    import os
+    import tempfile
+    import time
+
+    import numpy as np
+
+    from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+    from repro.serving import (
+        Fault,
+        PolicyRequestBatch,
+        PolicyServer,
+        ShardedPolicyServer,
+        shard_for_policy,
+    )
+    from repro.store import PolicyStore
+    from repro.weather.climates import get_climate
+
+    if args.shards < 2:
+        raise CLIError("--target serve-faults needs --shards >= 2")
+    city = _resolve(get_climate, args.climate).name
+    chunk = args.batch_size or 4096
+    timeout = args.timeout if args.timeout is not None else 1.0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as scratch:
+        store = PolicyStore(scratch)
+        for seed in range(args.seed, args.seed + 4):
+            config = _resolve(
+                PipelineConfig.tiny, city=city, seed=seed, season=args.season
+            )
+            VerifiedPolicyPipeline(config, store=store).run()
+        policy_ids = [entry.key.name for entry in store.entries()]
+        single = PolicyServer(store=store, cache_size=8)
+        dim = single.resolve(policy_ids[0]).n_features
+
+        rng = np.random.default_rng(args.seed)
+        observations = _synthetic_observations(rng, args.rows, dim)
+        assigned = np.array([policy_ids[i % len(policy_ids)] for i in range(args.rows)])
+
+        single_actions = np.empty(args.rows, dtype=np.int64)
+        for lo in range(0, args.rows, chunk):
+            hi = min(lo + chunk, args.rows)
+            response = single.serve_columnar(
+                PolicyRequestBatch(
+                    policy_ids=assigned[lo:hi], observations=observations[lo:hi]
+                )
+            )
+            single_actions[lo:hi] = response.action_indices
+
+        # Fault only shards that actually carry traffic (policy routing may
+        # leave some shards idle), or the injected fault would never fire.
+        active = sorted({shard_for_policy(pid, args.shards) for pid in policy_ids})
+        kill_shard = active[0]
+        hang_shard = active[1 % len(active)]
+        offsets = list(range(0, args.rows, chunk))
+        kill_batch = len(offsets) // 3
+        hang_batch = (2 * len(offsets)) // 3
+
+        sharded_actions = np.empty(args.rows, dtype=np.int64)
+        batch_seconds = []
+        with ShardedPolicyServer(
+            store=store,
+            num_shards=args.shards,
+            cache_size=8,
+            timeout=timeout,
+            retries=args.retries,
+            degraded=args.degraded,
+            heartbeat_interval=None,
+        ) as fleet:
+            fleet.serve_columnar(
+                PolicyRequestBatch(
+                    policy_ids=assigned[:chunk], observations=observations[:chunk]
+                )
+            )
+            for index, lo in enumerate(offsets):
+                hi = min(lo + chunk, args.rows)
+                if index == kill_batch:
+                    fleet.inject_fault(Fault(kind="kill", shard=kill_shard))
+                if index == hang_batch:
+                    fleet.inject_fault(
+                        Fault(kind="hang", shard=hang_shard, seconds=30.0)
+                    )
+                start = time.perf_counter()
+                response = fleet.serve_columnar(
+                    PolicyRequestBatch(
+                        policy_ids=assigned[lo:hi],
+                        observations=observations[lo:hi],
+                    )
+                )
+                batch_seconds.append(time.perf_counter() - start)
+                sharded_actions[lo:hi] = response.action_indices
+            stats = fleet.stats()
+
+    fleet_counters = stats["fleet"]
+    return {
+        "benchmark": "serve-faults",
+        "rows": args.rows,
+        "batch_size": chunk,
+        "shards": args.shards,
+        "cpu_count": os.cpu_count(),
+        "policies": len(policy_ids),
+        "timeout_seconds": timeout,
+        "retries": args.retries,
+        "degraded": args.degraded,
+        "faults": {
+            "kill": {"shard": kill_shard, "batch": kill_batch},
+            "hang": {"shard": hang_shard, "batch": hang_batch},
+        },
+        "errors_raised": 0,  # reaching here means no serve call raised
+        "requests_lost": fleet_counters["lost_requests"],
+        "fleet_requests_total": fleet_counters["requests"],  # includes warmup
+        "actions_identical": bool(np.array_equal(single_actions, sharded_actions)),
+        "restarts": stats["supervisor"]["restarts"],
+        "retries_used": fleet_counters["retries"],
+        "fallback_rows": fleet_counters["fallback_rows"],
+        "kill_recovery_seconds": batch_seconds[kill_batch],
+        "hang_recovery_seconds": batch_seconds[hang_batch],
+        "median_batch_seconds": float(np.median(batch_seconds)),
+    }
+
+
 _BENCH_TARGETS = {
     "rollout": _bench_rollout,
     "distill": _bench_distill,
     "serve": _bench_serve,
     "serve-columnar": _bench_serve_columnar,
     "serve-sharded": _bench_serve_sharded,
+    "serve-faults": _bench_serve_faults,
 }
 
 
@@ -817,6 +983,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument("--cache-size", type=int, default=8, help="compiled-policy LRU size (per shard)")
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait on a shard per attempt before restarting it",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-dispatch attempts for a failed shard slice (after restart)",
+    )
+    serve.add_argument(
+        "--degraded",
+        default="fail",
+        choices=["fail", "fallback"],
+        help=(
+            "when the retry budget is exhausted: 'fail' raises, 'fallback' "
+            "serves the slice with a parent-side in-process server"
+        ),
+    )
     serve.add_argument("--climate", default="pittsburgh", help="city for auto-extraction")
     serve.add_argument("--season", default="winter", choices=["winter", "summer"])
     serve.add_argument("--seed", type=int, default=0)
@@ -833,11 +1020,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--target",
         default="rollout",
-        choices=["rollout", "distill", "serve", "serve-columnar", "serve-sharded"],
+        choices=[
+            "rollout",
+            "distill",
+            "serve",
+            "serve-columnar",
+            "serve-sharded",
+            "serve-faults",
+        ],
         help=(
             "what to benchmark: rollouts, decision-dataset distillation, policy "
-            "serving, the columnar vs legacy serving front door, or the "
-            "multi-process sharded server vs single-process columnar"
+            "serving, the columnar vs legacy serving front door, the "
+            "multi-process sharded server vs single-process columnar, or "
+            "fleet recovery under injected kill/hang faults"
         ),
     )
     bench.add_argument("--agent", default="rule_based")
@@ -870,7 +1065,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=4,
-        help="worker processes (serve-sharded target)",
+        help="worker processes (serve-sharded / serve-faults targets)",
+    )
+    bench.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-attempt shard timeout in seconds (serve-faults; default 1.0)",
+    )
+    bench.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-dispatch attempts for a failed slice (serve-faults target)",
+    )
+    bench.add_argument(
+        "--degraded",
+        default="fail",
+        choices=["fail", "fallback"],
+        help="exhausted-budget policy under faults (serve-faults target)",
     )
     bench.add_argument("--output", default=None)
     bench.set_defaults(func=cmd_bench)

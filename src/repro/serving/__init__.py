@@ -9,8 +9,11 @@ columnar (:meth:`PolicyServer.serve_columnar` over
 :class:`~repro.data.PolicyRequestBatch`); the per-request object API is a
 thin adapter over it.  ``ShardedPolicyServer`` scales the same front door
 across N worker processes over the zero-copy shared-memory transport
-(:mod:`repro.data.shm`).  Driven by ``repro serve`` (``--shards N`` for the
-sharded fleet).
+(:mod:`repro.data.shm`), with a self-healing ``ShardSupervisor``
+(:mod:`repro.serving.supervision`) restarting dead or hung workers behind
+retry/deadline/degraded-fallback semantics, exercised by the deterministic
+fault-injection harness in :mod:`repro.serving.faults`.  Driven by ``repro
+serve`` (``--shards N`` for the sharded fleet).
 """
 
 from repro.data import PolicyRequestBatch, PolicyResponseBatch
@@ -22,22 +25,32 @@ from repro.serving.server import (
     ServerStats,
     UnknownPolicyError,
 )
+from repro.serving.faults import FAULT_KINDS, Fault, FaultPlan, FaultState
 from repro.serving.sharded import (
+    FleetStats,
     ShardedPolicyServer,
     ShardedServingError,
     shard_for_policy,
     shard_rows,
 )
+from repro.serving.supervision import ShardState, ShardSupervisor
 
 __all__ = [
     "CompiledTreeForest",
     "CompiledTreePolicy",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultState",
+    "FleetStats",
     "PolicyRequest",
     "PolicyRequestBatch",
     "PolicyResponse",
     "PolicyResponseBatch",
     "PolicyServer",
     "ServerStats",
+    "ShardState",
+    "ShardSupervisor",
     "ShardedPolicyServer",
     "ShardedServingError",
     "UnknownPolicyError",

@@ -1,0 +1,213 @@
+"""Deterministic fault injection for the sharded serving fleet.
+
+Chaos testing a multi-process server is only useful when the chaos is
+*replayable*: a flaky recovery bug must reproduce from a seed, not from
+scheduler luck.  This module is the fault model shared by the supervision
+layer (:mod:`repro.serving.supervision`), the chaos test suite and the
+``repro bench --target serve-faults`` recovery benchmark:
+
+* :class:`Fault` — one injected failure, described entirely by plain
+  scalars so it can cross the worker control pipe without violating the
+  transport's no-pickle discipline.  Kinds (:data:`FAULT_KINDS`):
+
+  - ``kill`` — the worker hard-exits (``os._exit``) the moment the fault
+    fires, before touching its rings: indistinguishable from a SIGKILL
+    landing mid-batch.
+  - ``hang`` — the worker sleeps ``seconds`` before serving: the parent's
+    per-attempt timeout expires and the supervisor must treat the worker
+    as unresponsive.
+  - ``late`` — a short sleep before a *successful* reply: latency without
+    failure, exercising the parent's patience rather than its recovery.
+  - ``stale_header`` — the worker serves correctly but stamps its response
+    header with the **previous ring generation**, simulating a reply built
+    against a dead generation's ring layout; the parent's generation fence
+    (:meth:`repro.data.shm.SharedMemoryColumnarBuffer.read_batch`) must
+    reject it rather than mis-read the segment.
+
+* :class:`FaultPlan` — a seeded schedule of faults over a batch-stream
+  horizon; the same seed always yields the same plan.
+* :class:`FaultState` — the worker-side arming/countdown logic: faults are
+  armed over the control channel (``inject`` messages) and fire on the
+  Nth subsequent ``serve``.
+
+Faults are honored by the worker loop itself (not monkeypatching), so the
+recovery paths exercised are exactly the production ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Every fault kind a worker knows how to honor.
+FAULT_KINDS: Tuple[str, ...] = ("kill", "hang", "late", "stale_header")
+
+#: Exit code a worker dies with when a ``kill`` fault fires — distinctive,
+#: so tests can tell an injected crash from a genuine one.
+KILL_EXIT_CODE = 86
+
+#: Default sleep for ``hang`` faults: comfortably past any sane per-attempt
+#: timeout, so a hang always surfaces as unresponsiveness.
+DEFAULT_HANG_SECONDS = 30.0
+
+#: Default sleep for ``late`` faults: visible latency, but within timeouts.
+DEFAULT_LATE_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure, wire-safe by construction.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    shard:
+        The shard index whose worker should honor the fault.
+    after_batches:
+        How many ``serve`` messages the worker handles *before* the fault
+        fires: ``0`` fires on the very next batch.
+    seconds:
+        Sleep duration for ``hang``/``late`` kinds (ignored otherwise).
+        ``0.0`` selects the kind's default.
+    """
+
+    kind: str
+    shard: int
+    after_batches: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate the fault description eagerly, before it crosses a pipe."""
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"Unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.shard < 0:
+            raise ValueError("shard must be non-negative")
+        if self.after_batches < 0:
+            raise ValueError("after_batches must be non-negative")
+        if self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+    @property
+    def sleep_seconds(self) -> float:
+        """The effective sleep for ``hang``/``late`` (defaults applied)."""
+        if self.seconds > 0:
+            return self.seconds
+        if self.kind == "hang":
+            return DEFAULT_HANG_SECONDS
+        if self.kind == "late":
+            return DEFAULT_LATE_SECONDS
+        return 0.0
+
+    def to_wire(self) -> Dict[str, object]:
+        """The fault as a plain-scalar dict safe for the control pipe."""
+        return {
+            "kind": self.kind,
+            "shard": int(self.shard),
+            "after_batches": int(self.after_batches),
+            "seconds": float(self.seconds),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "Fault":
+        """Rebuild a fault from its wire dict (validates on construction)."""
+        return cls(
+            kind=str(payload["kind"]),
+            shard=int(payload["shard"]),  # type: ignore[call-overload]
+            after_batches=int(payload.get("after_batches", 0)),  # type: ignore[call-overload]
+            seconds=float(payload.get("seconds", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults over a batch-stream horizon."""
+
+    faults: Tuple[Fault, ...]
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_shards: int,
+        horizon: int,
+        kinds: Sequence[str] = FAULT_KINDS,
+        count: Optional[int] = None,
+    ) -> "FaultPlan":
+        """A replayable plan: same ``seed`` → byte-identical schedule.
+
+        Cycles through ``kinds`` (default: all of them) drawing the target
+        shard and firing batch from a seeded generator.  ``horizon`` is the
+        number of batches the stream will serve; firing points are spread
+        over it.  ``count`` defaults to one fault per kind.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        if not kinds:
+            raise ValueError("kinds must not be empty")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"Unknown fault kind {kind!r}; known: {FAULT_KINDS}")
+        total = len(kinds) if count is None else int(count)
+        rng = np.random.default_rng(seed)
+        faults: List[Fault] = []
+        for position in range(total):
+            faults.append(
+                Fault(
+                    kind=kinds[position % len(kinds)],
+                    shard=int(rng.integers(0, num_shards)),
+                    after_batches=int(rng.integers(0, horizon)),
+                )
+            )
+        return cls(faults=tuple(faults))
+
+    def for_shard(self, shard: int) -> Tuple[Fault, ...]:
+        """The subset of the plan targeting one shard."""
+        return tuple(fault for fault in self.faults if fault.shard == shard)
+
+
+@dataclass
+class _ArmedFault:
+    """One queued fault plus its remaining serve countdown (worker-side)."""
+
+    fault: Fault
+    countdown: int
+
+
+class FaultState:
+    """Worker-side arming and countdown of injected faults.
+
+    The worker arms faults as ``inject`` messages arrive and calls
+    :meth:`on_serve` once per ``serve`` message; at most one fault fires per
+    batch (the earliest-armed due fault), the rest keep counting down.
+    """
+
+    def __init__(self) -> None:
+        self._armed: List[_ArmedFault] = []
+
+    def arm(self, fault: Fault) -> None:
+        """Queue a fault to fire after ``fault.after_batches`` more serves."""
+        self._armed.append(_ArmedFault(fault=fault, countdown=fault.after_batches))
+
+    def on_serve(self) -> Optional[Fault]:
+        """Advance every countdown by one batch; return the fault firing now."""
+        firing: Optional[Fault] = None
+        remaining: List[_ArmedFault] = []
+        for entry in self._armed:
+            if firing is None and entry.countdown <= 0:
+                firing = entry.fault
+                continue
+            remaining.append(
+                _ArmedFault(fault=entry.fault, countdown=max(entry.countdown - 1, 0))
+            )
+        self._armed = remaining
+        return firing
+
+    @property
+    def pending(self) -> int:
+        """How many armed faults have not fired yet."""
+        return len(self._armed)

@@ -18,47 +18,88 @@ control pipes.  Workers map numpy views straight onto the request ring,
 serve, and park the response in their response ring for the parent to map
 back out.
 
+The fleet is **self-healing**: a :class:`~repro.serving.supervision.
+ShardSupervisor` owns the worker processes, restarts any that die or stop
+responding (fresh rings under a bumped generation, registered policies
+replayed from a journal), and a heartbeat monitor sweeps the fleet between
+requests.  ``serve_columnar`` retries a failed shard's slice with
+exponential backoff under a per-request deadline, keeping surviving shards'
+results; under ``degraded="fallback"`` an exhausted slice is served by a
+parent-side in-process ``PolicyServer`` instead of raising — callers see
+latency, not exceptions.  See :mod:`repro.serving.supervision` for the
+mechanism and :mod:`repro.serving.faults` for the deterministic chaos
+harness that exercises it.
+
 ``num_shards=1`` takes an in-process fallback path (a plain ``PolicyServer``
 behind the same API), so tests, notebooks and small deployments pay no
 process, queue or ring tax until they ask for one.
 
 Lifecycle: :meth:`ShardedPolicyServer.start` spawns the workers (implicit on
 first use), :meth:`~ShardedPolicyServer.ping` health-checks them,
-:meth:`~ShardedPolicyServer.close` shuts them down and unlinks every ring.
-Workers install a SIGTERM handler that closes their shm attachments before
-exiting, and rings are owned (created + unlinked) solely by the parent, so a
-killed worker can never leak or tear down shared memory.
+:meth:`~ShardedPolicyServer.close` shuts them down — escalating
+``join`` → ``terminate`` → ``kill`` for stragglers — and unlinks every
+ring.  Rings are owned (created + unlinked) solely by the parent, so a
+killed worker can never leak or tear down shared memory, and ``close`` is
+idempotent even after a failed partial ``start``.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
-import signal
 import time
 import zlib
-from multiprocessing.connection import Connection
-from multiprocessing.connection import wait as connection_wait
-from typing import Any, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 from numpy.typing import NDArray
 
 from repro.data import PolicyRequestBatch, PolicyResponseBatch
-from repro.data.shm import DEFAULT_CAPACITY, SharedMemoryColumnarBuffer, ShmTransportError
+from repro.data.shm import (
+    DEFAULT_CAPACITY,
+    ShmBatchHeader,
+    ShmTransportError,
+)
+from repro.serving.faults import Fault
 from repro.serving.server import PolicyRequest, PolicyResponse, PolicyServer
+from repro.serving.supervision import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    ShardedServingError,
+    ShardSupervisor,
+)
 from repro.store import PolicyStore, resolve_store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tree_policy import TreePolicy
 
 #: Per-direction, per-shard ring size (bytes) — the transport's default; see
 #: :data:`repro.data.shm.DEFAULT_CAPACITY` for the sizing rationale.
 DEFAULT_RING_CAPACITY = DEFAULT_CAPACITY
 
-#: Seconds the parent waits on a worker response before declaring it dead.
+#: Seconds the parent waits on a worker response (per attempt) before
+#: declaring it unresponsive.
 DEFAULT_TIMEOUT = 60.0
 
+#: How many times a failed shard slice is re-dispatched (after restarting
+#: the shard) before the request degrades or fails.
+DEFAULT_RETRIES = 2
 
-class ShardedServingError(RuntimeError):
-    """A worker failed (died, timed out, or raised while serving)."""
+#: Base of the exponential backoff between retry attempts, in seconds.
+DEFAULT_BACKOFF = 0.05
+
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
+    "DEFAULT_RING_CAPACITY",
+    "DEFAULT_TIMEOUT",
+    "FleetStats",
+    "ShardedPolicyServer",
+    "ShardedServingError",
+    "shard_for_policy",
+    "shard_rows",
+]
 
 
 def shard_for_policy(policy_id: str, num_shards: int) -> int:
@@ -87,94 +128,71 @@ def shard_rows(batch: PolicyRequestBatch, num_shards: int) -> NDArray[Any]:
     return shard_by_policy[codes]
 
 
-def _sigterm_to_exit(signum: int, frame: Any) -> None:  # pragma: no cover - runs in workers
-    """Turn SIGTERM into SystemExit so worker ``finally`` blocks run."""
-    raise SystemExit(0)
+@dataclass
+class FleetStats:
+    """Parent-side counters for the fleet's fault-handling behavior.
 
-
-def _shard_worker_main(
-    shard_index: int,
-    store_root: Optional[str],
-    cache_size: int,
-    request_ring_name: str,
-    response_ring_name: str,
-    connection: Connection,
-) -> None:
-    """Worker entry point: one ``PolicyServer`` shard behind two shm rings.
-
-    Control traffic runs over one duplex ``Pipe`` connection (lower latency
-    than a ``Queue``: no feeder thread, and a dead worker surfaces as EOF on
-    the parent side).  Every request carries a parent-assigned sequence
-    number that the reply echoes, so a reply that arrives after the parent
-    timed out and moved on can never be mistaken for the answer to a later
-    request.  Protocol (messages received on ``connection``):
-
-    * ``("serve", seq, header)`` — map the request batch out of the request
-      ring (zero-copy), serve it, park the response in the response ring,
-      reply ``("ok", shard, seq, response_header)``.
-    * ``("register", seq, policy_id, policy_dict)`` — pin an in-memory
-      policy (control plane; this is the one place a policy payload crosses
-      the pipe, by design), reply ``("ok", shard, seq, None)``.
-    * ``("ping", seq)`` — reply ``("pong", shard, seq, {pid, stats})``.
-    * ``("stop",)`` or ``None`` — clean shutdown.
-
-    Any exception while serving is reported as
-    ``("error", shard, seq, message)`` rather than killing the worker.
-    SIGTERM triggers the same cleanup path as ``stop`` (close both ring
-    attachments; the parent owns and unlinks the segments).
+    Distinct from the per-worker serving counters: these count what the
+    *supervision* layer did — retries burned, rows served by the degraded
+    fallback, and rows lost to exhausted retry budgets (the chaos suite
+    asserts this stays zero).
     """
-    signal.signal(signal.SIGTERM, _sigterm_to_exit)
-    request_ring = SharedMemoryColumnarBuffer.attach(request_ring_name)
-    response_ring = SharedMemoryColumnarBuffer.attach(response_ring_name)
-    server = PolicyServer(
-        store=store_root if store_root is not None else False,
-        cache_size=cache_size,
-    )
-    try:
-        while True:
-            try:
-                message = connection.recv()
-            except EOFError:  # parent went away
-                break
-            if message is None or message[0] == "stop":
-                break
-            kind, seq = message[0], message[1]
-            if kind == "serve":
-                try:
-                    header = message[2]
-                    request = PolicyRequestBatch.from_shm(request_ring, header)
-                    response = server.serve_columnar(request)
-                    del request  # release the ring views before the next batch
-                    out = response.to_shm(response_ring)
-                    out.assert_zero_copy()
-                    connection.send(("ok", shard_index, seq, out))
-                except Exception as exc:  # noqa: BLE001 - reported to parent
-                    connection.send(
-                        ("error", shard_index, seq, f"{type(exc).__name__}: {exc}")
-                    )
-            elif kind == "register":
-                try:
-                    from repro.core.tree_policy import TreePolicy
 
-                    _, _, policy_id, payload = message
-                    server.register(policy_id, TreePolicy.from_dict(payload))
-                    connection.send(("ok", shard_index, seq, None))
-                except Exception as exc:  # noqa: BLE001 - reported to parent
-                    connection.send(
-                        ("error", shard_index, seq, f"{type(exc).__name__}: {exc}")
-                    )
-            elif kind == "ping":
-                connection.send(
-                    ("pong", shard_index, seq, {"pid": os.getpid(), "stats": server.stats.to_dict()})
-                )
-            else:
-                connection.send(("error", shard_index, seq, f"unknown message {kind!r}"))
-    except SystemExit:  # pragma: no cover - SIGTERM path
-        pass
-    finally:
-        request_ring.close()
-        response_ring.close()
-        connection.close()
+    requests: int = 0
+    batches: int = 0
+    retries: int = 0
+    fallback_rows: int = 0
+    degraded_batches: int = 0
+    lost_requests: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict for ``stats()`` and the CLI."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "retries": self.retries,
+            "fallback_rows": self.fallback_rows,
+            "degraded_batches": self.degraded_batches,
+            "lost_requests": self.lost_requests,
+        }
+
+
+@dataclass
+class _PendingSlice:
+    """One shard's contiguous slice of the sorted batch, awaiting a reply."""
+
+    lo: int
+    hi: int
+
+    @property
+    def rows(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass
+class _SortedBatch:
+    """A request batch pre-sorted into contiguous per-shard slices."""
+
+    ids: NDArray[Any]
+    observations: NDArray[Any]
+    order: Optional[NDArray[Any]]
+    actions: NDArray[Any]
+    heating: NDArray[Any]
+    cooling: NDArray[Any]
+    pending: Dict[int, _PendingSlice] = field(default_factory=dict)
+
+    def slice_request(self, entry: _PendingSlice) -> PolicyRequestBatch:
+        """The sub-batch for one shard slice (views into the sorted arrays)."""
+        return PolicyRequestBatch(
+            policy_ids=self.ids[entry.lo : entry.hi],
+            observations=self.observations[entry.lo : entry.hi],
+        )
+
+    def fill(self, entry: _PendingSlice, response: PolicyResponseBatch) -> None:
+        """Copy one slice's served columns into the sorted output arrays."""
+        self.actions[entry.lo : entry.hi] = response.action_indices
+        self.heating[entry.lo : entry.hi] = response.heating_setpoints
+        self.cooling[entry.lo : entry.hi] = response.cooling_setpoints
 
 
 class ShardedPolicyServer:
@@ -184,6 +202,9 @@ class ShardedPolicyServer:
     :meth:`~repro.serving.server.PolicyServer.serve_columnar` — and
     action-exact against it, because every shard *is* a ``PolicyServer`` and
     rows reach their policy's shard unreordered relative to that policy.
+    Worker death or unresponsiveness is handled inside ``serve_columnar``
+    (restart + bounded retry, optionally a degraded in-process fallback)
+    rather than surfaced to the caller.
 
     Parameters
     ----------
@@ -203,7 +224,27 @@ class ShardedPolicyServer:
         ``multiprocessing`` start method; default ``fork`` where available
         (fast), else ``spawn``.
     timeout:
-        Seconds to wait on a worker before declaring it dead.
+        Seconds to wait on a worker reply **per attempt** before treating
+        the shard as unresponsive (and restarting it).
+    retries:
+        How many re-dispatch attempts a failed slice gets after the first;
+        each retry restarts the failed shard and backs off exponentially.
+    backoff:
+        Base seconds of the exponential backoff between retries (capped at
+        one second per sleep).
+    request_deadline:
+        Optional wall-clock budget in seconds for one ``serve_columnar``
+        call across all attempts; ``None`` means attempts are bounded only
+        by ``retries`` × ``timeout``.
+    degraded:
+        What to do when a slice exhausts its retry budget: ``"fail"`` raises
+        :class:`ShardedServingError`; ``"fallback"`` serves the slice with a
+        parent-side in-process ``PolicyServer`` (store-resolved + journaled
+        registrations), trading latency for availability.
+    heartbeat_interval:
+        Seconds between background heartbeat sweeps (dead workers restarted
+        proactively, idle workers pinged); ``None`` disables the monitor —
+        the serve path still heals on contact.
     """
 
     def __init__(
@@ -214,107 +255,114 @@ class ShardedPolicyServer:
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         start_method: Optional[str] = None,
         timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        request_deadline: Optional[float] = None,
+        degraded: str = "fail",
+        heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT_INTERVAL,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if degraded not in ("fail", "fallback"):
+            raise ValueError(
+                f"degraded must be 'fail' or 'fallback', got {degraded!r}"
+            )
         self.num_shards = int(num_shards)
         self.cache_size = int(cache_size)
         self.ring_capacity = int(ring_capacity)
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.request_deadline = (
+            float(request_deadline) if request_deadline is not None else None
+        )
+        self.degraded = degraded
         self._store = resolve_store(store if store is not None else True)
         self._local: Optional[PolicyServer] = None
+        self._supervisor: Optional[ShardSupervisor] = None
+        self._fallback_server: Optional[PolicyServer] = None
+        self._fleet_stats = FleetStats()
+        self._closed = False
         if self.num_shards == 1:
             # In-process fallback: identical API, zero process/ring tax.
             self._local = PolicyServer(store=self._store, cache_size=cache_size)
+            return
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
-        self._context = multiprocessing.get_context(start_method)
-        self._workers: List[Any] = []
-        self._connections: List[Connection] = []
-        self._sequences: List[int] = []
-        self._request_rings: List[SharedMemoryColumnarBuffer] = []
-        self._response_rings: List[SharedMemoryColumnarBuffer] = []
-        self._started = False
-        self._closed = False
+        self._supervisor = ShardSupervisor(
+            context=multiprocessing.get_context(start_method),
+            num_shards=self.num_shards,
+            store_root=str(self._store.root) if self._store is not None else None,
+            cache_size=self.cache_size,
+            ring_capacity=self.ring_capacity,
+            heartbeat_interval=heartbeat_interval,
+        )
 
     # ------------------------------------------------------------- lifecycle
     @property
     def started(self) -> bool:
         """Whether worker processes are currently running (always False at N=1)."""
-        return self._started
+        return self._supervisor is not None and self._supervisor.started
+
+    @property
+    def supervisor(self) -> Optional[ShardSupervisor]:
+        """The fleet supervisor (``None`` on the in-process path)."""
+        return self._supervisor
+
+    @property
+    def fleet_stats(self) -> FleetStats:
+        """Parent-side fault-handling counters (see :class:`FleetStats`)."""
+        return self._fleet_stats
 
     def start(self) -> "ShardedPolicyServer":
-        """Spawn the worker fleet (no-op at ``num_shards=1`` or if running)."""
-        if self._local is not None or self._started:
+        """Spawn the worker fleet (no-op at ``num_shards=1`` or if running).
+
+        A failure mid-spawn tears down whatever partial fleet exists (the
+        supervisor unlinks every ring it created) before re-raising, so a
+        failed ``start`` never leaks shared memory and a subsequent
+        :meth:`close` is a clean no-op.
+        """
+        if self._local is not None:
             return self
         if self._closed:
             raise ShardedServingError("Server already closed")
-        store_root = str(self._store.root) if self._store is not None else None
-        for shard in range(self.num_shards):
-            request_ring = SharedMemoryColumnarBuffer.create(self.ring_capacity)
-            response_ring = SharedMemoryColumnarBuffer.create(self.ring_capacity)
-            parent_end, worker_end = self._context.Pipe(duplex=True)
-            worker = self._context.Process(
-                target=_shard_worker_main,
-                args=(
-                    shard,
-                    store_root,
-                    self.cache_size,
-                    request_ring.name,
-                    response_ring.name,
-                    worker_end,
-                ),
-                daemon=True,
-                name=f"repro-shard-{shard}",
-            )
-            worker.start()
-            worker_end.close()  # the parent keeps only its end
-            self._workers.append(worker)
-            self._connections.append(parent_end)
-            self._sequences.append(0)
-            self._request_rings.append(request_ring)
-            self._response_rings.append(response_ring)
-        self._started = True
+        assert self._supervisor is not None
+        try:
+            self._supervisor.start()
+        except ShardedServingError:
+            self._closed = True
+            raise
+        except Exception as exc:
+            self._closed = True
+            raise ShardedServingError(f"Failed to start shard fleet: {exc}") from exc
         return self
 
     def close(self) -> None:
         """Stop every worker and unlink every ring (idempotent).
 
-        Workers get a ``stop`` message and a join window; stragglers are
-        terminated.  The parent owns all segments, so shared memory is fully
-        reclaimed here even if a worker was SIGKILLed mid-flight.
+        Live workers get a ``stop`` message and a join window; a worker
+        that ignores it is escalated ``terminate()`` → ``kill()``, so a
+        hung worker can never outlive ``close``.  The parent owns all
+        segments, so shared memory is fully reclaimed here even if a worker
+        was SIGKILLed mid-flight or ``start`` failed partway.
         """
         if self._closed:
+            self._dispose_supervisor()
             return
         self._closed = True
-        for connection, worker in zip(self._connections, self._workers):
-            if worker.is_alive():
-                try:
-                    connection.send(("stop",))
-                except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
-                    pass
-        for worker in self._workers:
-            worker.join(timeout=5.0)
-            if worker.is_alive():  # pragma: no cover - stuck worker
-                worker.terminate()
-                worker.join(timeout=5.0)
-        for connection in self._connections:
-            connection.close()
-        for ring in self._request_rings + self._response_rings:
-            ring.close()
-            ring.unlink()
-        self._workers.clear()
-        self._request_rings.clear()
-        self._response_rings.clear()
-        self._connections.clear()
-        self._sequences.clear()
-        self._started = False
+        self._dispose_supervisor()
+
+    def _dispose_supervisor(self) -> None:
+        if self._supervisor is not None:
+            self._supervisor.close()
 
     def __enter__(self) -> "ShardedPolicyServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
@@ -324,11 +372,12 @@ class ShardedPolicyServer:
             pass
 
     # ---------------------------------------------------------------- health
-    def ping(self) -> Dict[int, Dict]:
-        """Health-check every shard: ``{shard: {pid, stats}}``.
+    def ping(self) -> Dict[int, Dict[str, Any]]:
+        """Health-check every shard: ``{shard: {pid, generation, stats}}``.
 
-        Raises :class:`ShardedServingError` when a worker is dead or
-        unresponsive within ``timeout``.
+        A dead worker is restarted and the replacement pinged; a shard that
+        still cannot answer reports ``{"error": message}`` instead of
+        raising, so one bad shard never hides the health of the rest.
         """
         if self._local is not None:
             return {
@@ -339,23 +388,37 @@ class ShardedPolicyServer:
                 }
             }
         self._ensure_started()
-        expected = {
-            shard: self._send(shard, "ping") for shard in range(self.num_shards)
-        }
-        replies = self._collect(expected, expected_kind="pong")
-        return {shard: payload for shard, payload in replies.items()}
+        assert self._supervisor is not None
+        result: Dict[int, Dict[str, Any]] = {}
+        with self._supervisor.lock:
+            for shard in range(self.num_shards):
+                try:
+                    self._supervisor.ensure_alive(shard)
+                    payload = self._supervisor.request(
+                        shard, "ping", timeout=self.timeout
+                    )
+                    result[shard] = dict(payload)
+                except ShardedServingError as exc:
+                    result[shard] = {"error": str(exc)}
+        return result
 
     def stats(self) -> Dict[str, Any]:
         """Aggregated serving counters across all shards.
 
         Sums the per-shard :class:`~repro.serving.server.ServerStats`
         counters and merges the per-policy tallies; also reports the
-        per-shard breakdown under ``"shards"``.
+        per-shard breakdown under ``"shards"``, the parent-side
+        fault-handling counters under ``"fleet"`` and — on the multi-shard
+        path — supervisor state (restarts, generations, heartbeat ages)
+        under ``"supervisor"``.
         """
+        pings = self.ping()
         per_shard = {
-            shard: payload["stats"] for shard, payload in self.ping().items()
+            shard: payload["stats"]
+            for shard, payload in pings.items()
+            if "stats" in payload
         }
-        totals: Dict[str, object] = {
+        totals: Dict[str, Any] = {
             key: sum(stats[key] for stats in per_shard.values())
             for key in (
                 "requests",
@@ -373,26 +436,63 @@ class ShardedPolicyServer:
         totals["unique_policies"] = len(merged)
         totals["per_policy_requests"] = merged
         totals["shards"] = per_shard
+        totals["fleet"] = self._fleet_stats.to_dict()
+        if self._supervisor is not None:
+            with self._supervisor.lock:
+                totals["supervisor"] = self._supervisor.describe()
         return totals
 
     # ----------------------------------------------------------- registration
-    def register(self, policy_id: str, policy) -> int:
+    def register(self, policy_id: str, policy: "TreePolicy") -> int:
         """Pin an in-memory :class:`~repro.core.tree_policy.TreePolicy`.
 
         Control-plane operation: the policy is serialised (``to_dict``) to
         the *one* shard that :func:`shard_for_policy` routes the id to —
         registration is the only message type that carries a policy payload
-        through a queue; the serving hot path never does.  Returns the
-        owning shard index.
+        through the pipe; the serving hot path never does.  The payload is
+        also journaled parent-side, so a restarted worker gets every
+        registration replayed before it serves (and the degraded fallback
+        server, if one exists, registers it too).  Returns the owning shard
+        index.
         """
         if self._local is not None:
             self._local.register(policy_id, policy)
             return 0
         self._ensure_started()
-        shard = shard_for_policy(policy_id, self.num_shards)
-        seq = self._send(shard, "register", policy_id, policy.to_dict())
-        self._collect({shard: seq}, expected_kind="ok")
-        return shard
+        assert self._supervisor is not None
+        with self._supervisor.lock:
+            shard = shard_for_policy(policy_id, self.num_shards)
+            payload = policy.to_dict()
+            # Journal first: even if this send fails and the worker is
+            # restarted, the replay delivers the registration.
+            self._supervisor.record_registration(shard, policy_id, payload)
+            self._supervisor.ensure_alive(shard)
+            self._supervisor.request(
+                shard, "register", policy_id, payload, timeout=self.timeout
+            )
+            if self._fallback_server is not None:
+                self._fallback_server.register(policy_id, policy)
+            return shard
+
+    # -------------------------------------------------------- fault injection
+    def inject_fault(self, fault: Fault) -> None:
+        """Arm one :class:`~repro.serving.faults.Fault` in its target worker.
+
+        Chaos-testing control plane: the fault crosses the control pipe as
+        plain scalars and fires inside the worker's real serve path (see
+        :mod:`repro.serving.faults`).  Requires a multi-shard fleet.
+        """
+        if self._local is not None:
+            raise ShardedServingError(
+                "Fault injection requires a multi-shard fleet (num_shards > 1)"
+            )
+        self._ensure_started()
+        assert self._supervisor is not None
+        with self._supervisor.lock:
+            self._supervisor.ensure_alive(fault.shard)
+            self._supervisor.request(
+                fault.shard, "inject", fault.to_wire(), timeout=self.timeout
+            )
 
     # ---------------------------------------------------------------- serving
     def serve_columnar(self, batch: PolicyRequestBatch) -> PolicyResponseBatch:
@@ -400,11 +500,21 @@ class ShardedPolicyServer:
 
         Rows are partitioned by :func:`shard_rows` with one stable argsort,
         each shard's contiguous slice is parked in that shard's request ring
-        (header-only queue message), all shards serve **concurrently**, and
+        (header-only pipe message), all shards serve **concurrently**, and
         responses are mapped back out of the response rings and scattered to
         request order through the inverse permutation — the exact mirror of
         the single-process grouping inside ``PolicyServer.serve_columnar``,
         one level up.
+
+        Fault handling: a shard that dies, times out, or replies under a
+        stale ring generation is restarted and its slice re-dispatched, with
+        exponential backoff, up to ``retries`` times within
+        ``request_deadline``; surviving shards' results are kept throughout.
+        When the budget is exhausted, ``degraded="fallback"`` serves the
+        remaining slices in-process and ``degraded="fail"`` raises
+        :class:`ShardedServingError`.  Worker-*reported* exceptions (e.g. an
+        unknown policy id) are deterministic and raise immediately — the
+        worker is healthy; the request is not.
         """
         if self._local is not None:
             return self._local.serve_columnar(batch)
@@ -417,65 +527,9 @@ class ShardedPolicyServer:
                 cooling_setpoints=np.empty(0, dtype=np.int64),
             )
         self._ensure_started()
-        row_shards = shard_rows(batch, self.num_shards)
-        present = np.unique(row_shards)
-
-        if len(present) == 1:
-            shard = int(present[0])
-            seq = self._dispatch(shard, batch)
-            replies = self._collect({shard: seq}, expected_kind="ok")
-            response = self._read_response(shard, replies[shard])
-            actions = response.action_indices.copy()
-            heating = response.heating_setpoints.copy()
-            cooling = response.cooling_setpoints.copy()
-            return PolicyResponseBatch(
-                policy_ids=batch.policy_ids,
-                action_indices=actions,
-                heating_setpoints=heating,
-                cooling_setpoints=cooling,
-            )
-
-        order = np.argsort(row_shards, kind="stable")
-        sorted_ids = batch.policy_ids[order]
-        sorted_observations = batch.observations[order]
-        starts = np.searchsorted(row_shards[order], present)
-        stops = np.append(starts[1:], rows)
-        bounds = {}
-        expected = {}
-        for position, shard in enumerate(present):
-            lo, hi = int(starts[position]), int(stops[position])
-            bounds[int(shard)] = (lo, hi)
-            expected[int(shard)] = self._dispatch(
-                int(shard),
-                PolicyRequestBatch(
-                    policy_ids=sorted_ids[lo:hi],
-                    observations=sorted_observations[lo:hi],
-                ),
-            )
-        replies = self._collect(expected, expected_kind="ok")
-
-        sorted_actions = np.empty(rows, dtype=np.int64)
-        sorted_heating = np.empty(rows, dtype=np.int64)
-        sorted_cooling = np.empty(rows, dtype=np.int64)
-        for shard, header in replies.items():
-            lo, hi = bounds[shard]
-            response = self._read_response(shard, header)
-            sorted_actions[lo:hi] = response.action_indices
-            sorted_heating[lo:hi] = response.heating_setpoints
-            sorted_cooling[lo:hi] = response.cooling_setpoints
-
-        actions = np.empty(rows, dtype=np.int64)
-        heating = np.empty(rows, dtype=np.int64)
-        cooling = np.empty(rows, dtype=np.int64)
-        actions[order] = sorted_actions
-        heating[order] = sorted_heating
-        cooling[order] = sorted_cooling
-        return PolicyResponseBatch(
-            policy_ids=batch.policy_ids,
-            action_indices=actions,
-            heating_setpoints=heating,
-            cooling_setpoints=cooling,
-        )
+        assert self._supervisor is not None
+        with self._supervisor.lock:
+            return self._serve_fleet(batch, rows)
 
     def serve(self, requests: Sequence[PolicyRequest]) -> List[PolicyResponse]:
         """Legacy object adapter, mirroring ``PolicyServer.serve``."""
@@ -487,76 +541,193 @@ class ShardedPolicyServer:
 
     # -------------------------------------------------------------- internals
     def _ensure_started(self) -> None:
-        if not self._started:
+        if self._local is None and not self.started:
             self.start()
 
-    def _send(self, shard: int, kind: str, *payload) -> int:
-        """Send one sequence-stamped message to a shard; return its sequence.
+    def _partition(self, batch: PolicyRequestBatch, rows: int) -> _SortedBatch:
+        """Sort the batch into contiguous per-shard slices (no copy at 1)."""
+        row_shards = shard_rows(batch, self.num_shards)
+        present = np.unique(row_shards)
+        sorted_batch = _SortedBatch(
+            ids=batch.policy_ids,
+            observations=batch.observations,
+            order=None,
+            actions=np.empty(rows, dtype=np.int64),
+            heating=np.empty(rows, dtype=np.int64),
+            cooling=np.empty(rows, dtype=np.int64),
+        )
+        if len(present) == 1:
+            sorted_batch.pending[int(present[0])] = _PendingSlice(lo=0, hi=rows)
+            return sorted_batch
+        order = np.argsort(row_shards, kind="stable")
+        sorted_batch.order = order
+        sorted_batch.ids = batch.policy_ids[order]
+        sorted_batch.observations = batch.observations[order]
+        starts = np.searchsorted(row_shards[order], present)
+        stops = np.append(starts[1:], rows)
+        for position, shard in enumerate(present):
+            sorted_batch.pending[int(shard)] = _PendingSlice(
+                lo=int(starts[position]), hi=int(stops[position])
+            )
+        return sorted_batch
 
-        The liveness check and the broken-pipe translation live here so every
-        control-plane caller (serve, register, ping) reports a dead worker as
-        :class:`ShardedServingError` rather than a raw ``BrokenPipeError``.
-        """
-        worker = self._workers[shard]
-        if not worker.is_alive():
-            raise ShardedServingError(f"Shard {shard} worker (pid {worker.pid}) is dead")
-        self._sequences[shard] += 1
-        seq = self._sequences[shard]
-        try:
-            self._connections[shard].send((kind, seq, *payload))
-        except (BrokenPipeError, OSError) as exc:
+    def _serve_fleet(self, batch: PolicyRequestBatch, rows: int) -> PolicyResponseBatch:
+        """The multi-shard serve path: dispatch, retry, degrade, scatter."""
+        assert self._supervisor is not None
+        sorted_batch = self._partition(batch, rows)
+        deadline = time.monotonic() + (
+            self.request_deadline if self.request_deadline is not None else math.inf
+        )
+        attempt = 0
+        while sorted_batch.pending:
+            failures = self._attempt(sorted_batch, deadline)
+            if not failures:
+                break
+            exhausted = attempt >= self.retries or time.monotonic() >= deadline
+            # Restart failed shards either way: retries need a live worker,
+            # and even a failing request should leave the fleet healed for
+            # the next one.  A restart that itself fails is retried by the
+            # next attempt (or by the heartbeat monitor).
+            for shard, reason in failures.items():
+                try:
+                    self._supervisor.restart(shard, reason=reason)
+                except Exception:  # noqa: BLE001 - healing is best-effort here
+                    pass
+            if not exhausted:
+                attempt += 1
+                self._fleet_stats.retries += 1
+                time.sleep(min(self.backoff * (2 ** (attempt - 1)), 1.0))
+                continue
+            if self.degraded == "fallback":
+                self._serve_degraded(sorted_batch)
+                break
+            lost = sum(entry.rows for entry in sorted_batch.pending.values())
+            self._fleet_stats.lost_requests += lost
             raise ShardedServingError(
-                f"Shard {shard} worker (pid {worker.pid}) is unreachable: {exc}"
-            ) from exc
-        return seq
+                "Retry budget exhausted for shards "
+                f"{sorted(sorted_batch.pending)} after {attempt + 1} attempts: "
+                + "; ".join(
+                    f"shard {shard}: {reason}"
+                    for shard, reason in sorted(failures.items())
+                )
+            )
+        self._fleet_stats.requests += rows
+        self._fleet_stats.batches += 1
+        return self._scatter(batch, rows, sorted_batch)
+
+    def _attempt(
+        self, sorted_batch: _SortedBatch, deadline: float
+    ) -> Dict[int, str]:
+        """One dispatch + collect round over the still-pending slices.
+
+        Fills served slices into the sorted output arrays and pops them from
+        ``pending``; returns ``{shard: reason}`` for *retryable* failures
+        (death, timeout, stale-generation replies).  Worker-reported
+        exceptions other than transport errors raise immediately.
+        """
+        assert self._supervisor is not None
+        failures: Dict[int, str] = {}
+        expected: Dict[int, int] = {}
+        for shard, entry in sorted_batch.pending.items():
+            try:
+                self._supervisor.ensure_alive(shard)
+                expected[shard] = self._dispatch(
+                    shard, sorted_batch.slice_request(entry)
+                )
+            except ShardedServingError as exc:
+                failures[shard] = str(exc)
+        if expected:
+            wait = min(self.timeout, max(deadline - time.monotonic(), 0.0))
+            result = self._supervisor.collect(expected, timeout=wait)
+            hard = {
+                shard: message
+                for shard, message in result.errors.items()
+                if not message.startswith("ShmTransportError")
+            }
+            if hard:
+                raise ShardedServingError(
+                    "; ".join(
+                        f"shard {shard}: {message}"
+                        for shard, message in sorted(hard.items())
+                    )
+                )
+            for shard, message in result.errors.items():
+                failures[shard] = message  # transport trouble: retryable
+            failures.update(result.failures)
+            for shard, header in result.replies.items():
+                entry = sorted_batch.pending[shard]
+                try:
+                    sorted_batch.fill(entry, self._read_response(shard, header))
+                except (ShmTransportError, ValueError) as exc:
+                    # e.g. the generation fence rejecting a stale header.
+                    failures[shard] = f"{type(exc).__name__}: {exc}"
+                    continue
+                del sorted_batch.pending[shard]
+        return failures
+
+    def _serve_degraded(self, sorted_batch: _SortedBatch) -> None:
+        """Serve every still-pending slice with the in-process fallback."""
+        server = self._fallback()
+        for shard in sorted(sorted_batch.pending):
+            entry = sorted_batch.pending.pop(shard)
+            sorted_batch.fill(
+                entry, server.serve_columnar(sorted_batch.slice_request(entry))
+            )
+            self._fleet_stats.fallback_rows += entry.rows
+        self._fleet_stats.degraded_batches += 1
+
+    def _fallback(self) -> PolicyServer:
+        """The lazily-built parent-side degraded server (journal replayed)."""
+        if self._fallback_server is None:
+            from repro.core.tree_policy import TreePolicy
+
+            assert self._supervisor is not None
+            server = PolicyServer(
+                store=self._store if self._store is not None else False,
+                cache_size=self.cache_size,
+            )
+            for _, policy_id, payload in self._supervisor.registrations():
+                server.register(policy_id, TreePolicy.from_dict(payload))
+            self._fallback_server = server
+        return self._fallback_server
+
+    def _scatter(
+        self, batch: PolicyRequestBatch, rows: int, sorted_batch: _SortedBatch
+    ) -> PolicyResponseBatch:
+        """Un-sort the served columns back to request order."""
+        if sorted_batch.order is None:
+            actions: NDArray[Any] = sorted_batch.actions
+            heating: NDArray[Any] = sorted_batch.heating
+            cooling: NDArray[Any] = sorted_batch.cooling
+        else:
+            actions = np.empty(rows, dtype=np.int64)
+            heating = np.empty(rows, dtype=np.int64)
+            cooling = np.empty(rows, dtype=np.int64)
+            actions[sorted_batch.order] = sorted_batch.actions
+            heating[sorted_batch.order] = sorted_batch.heating
+            cooling[sorted_batch.order] = sorted_batch.cooling
+        return PolicyResponseBatch(
+            policy_ids=batch.policy_ids,
+            action_indices=actions,
+            heating_setpoints=heating,
+            cooling_setpoints=cooling,
+        )
 
     def _dispatch(self, shard: int, sub_batch: PolicyRequestBatch) -> int:
         """Park one shard's slice in its request ring; send the tiny header."""
-        header = sub_batch.to_shm(self._request_rings[shard])
+        assert self._supervisor is not None
+        state = self._supervisor.state(shard)
+        header = sub_batch.to_shm(state.request_ring)
         header.assert_zero_copy()  # the transport's no-pickle guard
-        return self._send(shard, "serve", header)
+        return self._supervisor.send(shard, "serve", header)
 
-    def _read_response(self, shard: int, header) -> PolicyResponseBatch:
-        """Map one shard's response out of its ring (views; copy before reuse)."""
-        return PolicyResponseBatch.from_shm(self._response_rings[shard], header)
+    def _read_response(self, shard: int, header: ShmBatchHeader) -> PolicyResponseBatch:
+        """Map one shard's response out of its ring (views; copy before reuse).
 
-    def _collect(self, expected: Dict[int, int], expected_kind: str) -> Dict[int, object]:
-        """Gather the reply to each ``{shard: sequence}``; raise on errors.
-
-        Replies whose echoed sequence predates the expected one are stale —
-        answers to a request the parent already timed out on — and are
-        discarded rather than mistaken for the current reply, so a retry
-        after a :class:`ShardedServingError` can never serve another batch's
-        actions.
+        The ring's generation fence rejects headers written under a dead
+        generation (:class:`~repro.data.shm.ShmTransportError`), which the
+        caller treats as a retryable failure.
         """
-        pending = {self._connections[shard]: shard for shard in expected}
-        replies: Dict[int, object] = {}
-        errors: List[str] = []
-        deadline = time.monotonic() + self.timeout
-        while pending:
-            remaining = deadline - time.monotonic()
-            ready = connection_wait(list(pending), timeout=max(remaining, 0.0))
-            if not ready:
-                dead = [i for i, w in enumerate(self._workers) if not w.is_alive()]
-                raise ShardedServingError(
-                    f"Timed out waiting for shards {sorted(pending.values())} "
-                    f"(dead shards: {dead or 'none'})"
-                )
-            for connection in ready:
-                shard = pending.pop(connection)
-                try:
-                    kind, _, seq, payload = connection.recv()
-                except (EOFError, OSError):
-                    errors.append(f"shard {shard}: worker died mid-request")
-                    continue
-                if seq != expected[shard]:
-                    pending[connection] = shard  # stale reply: keep waiting
-                elif kind == "error":
-                    errors.append(f"shard {shard}: {payload}")
-                elif kind != expected_kind:
-                    errors.append(f"shard {shard}: unexpected {kind!r} reply")
-                else:
-                    replies[shard] = payload
-        if errors:
-            raise ShardedServingError("; ".join(errors))
-        return replies
+        assert self._supervisor is not None
+        state = self._supervisor.state(shard)
+        return PolicyResponseBatch.from_shm(state.response_ring, header)

@@ -374,6 +374,101 @@ class TestRngDiscipline:
         assert lint(tmp_path, only=("REP005",)).findings == []
 
 
+# ----------------------------------------------------------------- REP006
+class TestTimeoutDiscipline:
+    def test_flags_unbounded_join_wait_and_recv(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/bad.py": """
+                from multiprocessing.connection import wait as connection_wait
+
+                def reap(process):
+                    process.join()
+
+                def gather(connections, stop_event):
+                    ready = connection_wait(connections)
+                    stop_event.wait()
+                    return ready
+
+                def pump(connection):
+                    return connection.recv()
+            """,
+        })
+        result = lint(tmp_path, only=("REP006",))
+        assert rules_of(result) == ["REP006"] * 4
+
+    def test_accepts_bounded_blocking(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/good.py": """
+                from multiprocessing.connection import wait as connection_wait
+
+                def reap(process):
+                    process.join(timeout=5.0)
+                    process.join(5.0)
+
+                def gather(connections, stop_event):
+                    ready = connection_wait(connections, timeout=1.0)
+                    stop_event.wait(0.25)
+                    stop_event.wait(timeout=0.25)
+                    return ready
+
+                def pump(connection):
+                    if not connection.poll(0.25):
+                        return None
+                    return connection.recv()
+            """,
+        })
+        assert lint(tmp_path, only=("REP006",)).findings == []
+
+    def test_str_join_and_recv_with_args_are_not_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/strings.py": """
+                def render(parts, sock):
+                    joined = ", ".join(parts)
+                    data = sock.recv(4096)
+                    return joined, data
+            """,
+        })
+        assert lint(tmp_path, only=("REP006",)).findings == []
+
+    def test_poll_in_another_function_does_not_excuse_recv(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/split.py": """
+                def guard(connection):
+                    return connection.poll(0.25)
+
+                def pump(connection):
+                    return connection.recv()
+            """,
+        })
+        result = lint(tmp_path, only=("REP006",))
+        assert rules_of(result) == ["REP006"]
+
+    def test_scope_is_serving_and_shm_only(self, tmp_path):
+        write_tree(tmp_path, {
+            "agents/elsewhere.py": """
+                def reap(process, connection):
+                    process.join()
+                    return connection.recv()
+            """,
+            "data/shm.py": """
+                def pump(connection):
+                    return connection.recv()
+            """,
+        })
+        result = lint(tmp_path, only=("REP006",))
+        assert [f.path for f in result.findings] == ["data/shm.py"]
+
+    def test_suppression_with_reason_is_honored(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/justified.py": """
+                def pump(connection):
+                    return connection.recv()  # reprolint: disable=REP006 -- bounded by caller's wait()
+            """,
+        })
+        result = lint(tmp_path, only=("REP006",))
+        assert result.findings == []
+
+
 # ------------------------------------------------------------ suppressions
 class TestSuppressions:
     def test_trailing_directive_silences_only_its_rule(self, tmp_path):

@@ -322,14 +322,19 @@ def test_cli_serve_sharded_smoke(tmp_path, capsys):
 
 # -------------------------------------------------------------- lifecycle
 def test_sigterm_shuts_workers_down_without_leaking_shm(tmp_path, policies):
-    fleet = ShardedPolicyServer(store=str(tmp_path), num_shards=2).start()
+    fleet = ShardedPolicyServer(
+        store=str(tmp_path), num_shards=2, heartbeat_interval=None
+    ).start()
     for policy_id, policy in policies.items():
         fleet.register(policy_id, policy)
     fleet.serve_columnar(mixed_batch(6, 128, list(policies)))
+    states = fleet.supervisor.states()
     ring_names = [
-        ring.name for ring in fleet._request_rings + fleet._response_rings
+        ring.name
+        for state in states
+        for ring in (state.request_ring, state.response_ring)
     ]
-    workers = list(fleet._workers)
+    workers = [state.process for state in states]
     for worker in workers:
         os.kill(worker.pid, signal.SIGTERM)
     for worker in workers:
@@ -341,19 +346,27 @@ def test_sigterm_shuts_workers_down_without_leaking_shm(tmp_path, policies):
             SharedMemoryColumnarBuffer.attach(name)
 
 
-def test_close_is_idempotent_and_dead_workers_are_reported(tmp_path, policies):
+def test_close_is_idempotent_and_sigkill_between_batches_heals(tmp_path, policies):
     fleet = ShardedPolicyServer(
-        store=str(tmp_path), num_shards=2, timeout=5.0
+        store=str(tmp_path), num_shards=2, timeout=5.0, heartbeat_interval=None
     ).start()
     fleet.register("building-0", policies["building-0"])
     shard = shard_for_policy("building-0", 2)
-    os.kill(fleet._workers[shard].pid, signal.SIGKILL)
+    victim = fleet.supervisor.state(shard).process
+    os.kill(victim.pid, signal.SIGKILL)
     deadline = time.monotonic() + 10.0
-    while fleet._workers[shard].is_alive() and time.monotonic() < deadline:
+    while victim.is_alive() and time.monotonic() < deadline:
         time.sleep(0.05)
-    with pytest.raises(ShardedServingError, match="dead|died"):
-        fleet.serve_columnar(
-            PolicyRequestBatch.single_policy("building-0", np.zeros((2, N_FEATURES)))
-        )
+    # The supervisor restarts the dead worker on contact and replays the
+    # registration journal: the caller sees a served batch, not an error.
+    single = PolicyServer(store=False)
+    single.register("building-0", policies["building-0"])
+    observations = np.zeros((2, N_FEATURES))
+    request = PolicyRequestBatch.single_policy("building-0", observations)
+    response = fleet.serve_columnar(request)
+    expected = single.serve_columnar(request)
+    assert np.array_equal(response.action_indices, expected.action_indices)
+    assert fleet.supervisor.restarts_total >= 1
+    assert fleet.supervisor.state(shard).generation >= 1
     fleet.close()
     fleet.close()  # idempotent
