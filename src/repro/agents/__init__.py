@@ -30,6 +30,7 @@ from repro.agents.registry import (
 )
 from repro.agents.base import BaseAgent, RandomAgent, ConstantAgent
 from repro.agents.rule_based import RuleBasedAgent
+from repro.agents.hysteresis import HysteresisAgent
 from repro.agents.random_shooting import (
     BatchPlanResult,
     OptimizationResult,
@@ -51,6 +52,7 @@ __all__ = [
     "RandomAgent",
     "ConstantAgent",
     "RuleBasedAgent",
+    "HysteresisAgent",
     "RandomShootingOptimizer",
     "OptimizationResult",
     "BatchPlanResult",

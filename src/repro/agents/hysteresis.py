@@ -1,0 +1,192 @@
+"""Classical hysteresis (deadband thermostat) baseline controller.
+
+The oldest HVAC control law there is: a binary on/off thermostat with a
+deadband around the comfort midpoint.  When the zone drifts below the
+deadband the controller latches into *heating* mode and pushes the zone back
+to the top of the deadband; when it drifts above, it latches into *cooling*
+mode; in between it holds the plant off.  The latch is what distinguishes it
+from the schedule controller: the mode persists until the zone has crossed
+the whole deadband, so the plant cycles slowly instead of chattering at a
+threshold.
+
+Beyond being a classical baseline (ROADMAP scenario-diversity item), this is
+the fleet's degraded-mode controller: when the serving stack cannot produce
+actions for a tick, :class:`~repro.fleet.FleetLoop` falls back to a bank of
+per-building hysteresis agents — a policy-free control law that needs nothing
+but the thermometer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.agents.base import BaseAgent
+from repro.agents.registry import register_agent
+from repro.data import ActionBatch, ObservationBatch
+from repro.env.hvac_env import HVACEnvironment
+from repro.utils.config import ComfortConfig
+from repro.utils.rng import RNGLike
+
+
+@register_agent(
+    "hysteresis",
+    aliases=("deadband", "thermostat"),
+    summary="classical on/off deadband thermostat (also the fleet's degraded-mode fallback)",
+)
+class HysteresisAgent(BaseAgent):
+    """On/off deadband thermostat around the comfort midpoint."""
+
+    name = "hysteresis"
+
+    def __init__(self, comfort: Optional[ComfortConfig] = None, deadband: float = 0.5):
+        self.comfort = comfort or ComfortConfig.winter()
+        self.deadband = float(deadband)
+        if self.deadband <= 0:
+            raise ValueError("deadband must be positive")
+        if 2 * self.deadband >= self.comfort.width:
+            raise ValueError(
+                f"deadband {self.deadband} must fit inside the comfort band "
+                f"(width {self.comfort.width})"
+            )
+        # Latched mode: at most one of (heating, cooling) is active.
+        self._heat_on = False
+        self._cool_on = False
+        # (env-identity key, per-step cached arrays) for the batch fast path.
+        self._batch_cache = None
+
+    @classmethod
+    def from_config(
+        cls,
+        environment: Optional[HVACEnvironment] = None,
+        seed: RNGLike = None,
+        season: Optional[str] = None,
+        **kwargs,
+    ) -> "HysteresisAgent":
+        """Config hook: default the comfort band to the environment's reward config."""
+        if "comfort" not in kwargs:
+            if season is not None:
+                kwargs["comfort"] = ComfortConfig.for_season(season)
+            elif environment is not None:
+                kwargs["comfort"] = environment.config.reward.comfort
+        return cls(**kwargs)
+
+    def reset(self) -> None:
+        self._heat_on = False
+        self._cool_on = False
+
+    # ------------------------------------------------------------- thresholds
+    @property
+    def on_below(self) -> float:
+        """Zone temperature below which the heating latch engages."""
+        return self.comfort.midpoint - self.deadband
+
+    @property
+    def off_above(self) -> float:
+        """Zone temperature above which the cooling latch engages."""
+        return self.comfort.midpoint + self.deadband
+
+    def _advance_latch(self, zone: float, occupied: bool) -> None:
+        """One step of the three-state (heat / cool / idle) latch machine."""
+        if not occupied:
+            self._heat_on = False
+            self._cool_on = False
+            return
+        if self._heat_on:
+            if zone >= self.off_above:
+                self._heat_on = False
+        elif self._cool_on:
+            if zone <= self.on_below:
+                self._cool_on = False
+        else:
+            if zone < self.on_below:
+                self._heat_on = True
+            elif zone > self.off_above:
+                self._cool_on = True
+
+    def select_action(
+        self, observation: np.ndarray, environment: HVACEnvironment, step: int
+    ) -> int:
+        zone = float(np.asarray(observation, dtype=float).reshape(-1)[0])
+        self._advance_latch(zone, bool(environment.occupied_at(step)))
+        actions = environment.config.actions
+        off_heating, off_cooling = actions.off_setpoints()
+        if self._heat_on:
+            heating, cooling = actions.clip(self.off_above, off_cooling)
+        elif self._cool_on:
+            heating, cooling = actions.clip(off_heating, self.on_below)
+        else:
+            heating, cooling = actions.clip(off_heating, off_cooling)
+        return environment.action_space.to_index(heating, cooling)
+
+    # ------------------------------------------------------- batched selection
+    @classmethod
+    def for_environments(
+        cls,
+        environments: Sequence[HVACEnvironment],
+        deadband: float = 0.5,
+    ) -> List["HysteresisAgent"]:
+        """One thermostat per environment (the fleet's fallback bank)."""
+        return [cls.from_config(env, deadband=deadband) for env in environments]
+
+    @classmethod
+    def select_actions_batch(
+        cls,
+        agents: Sequence["HysteresisAgent"],
+        observations: Union[ObservationBatch, np.ndarray],
+        environments: Sequence[HVACEnvironment],
+        step: int,
+    ) -> ActionBatch:
+        """Vectorised latch update over the whole batch.
+
+        Per-agent thresholds and the three per-mode action indices are
+        compiled once per (agents, environments) pairing; every subsequent
+        tick is pure array ops plus a state gather/scatter on the agent
+        instances — which keeps batched decisions exactly equal to running
+        :meth:`select_action` agent by agent (asserted in the test suite),
+        including latch continuity across ticks.
+        """
+        lead = agents[0]
+        key = tuple(id(a) for a in agents) + tuple(id(e) for e in environments)
+        cache = getattr(lead, "_batch_cache", None)
+        if cache is None or cache[0] != key:
+            steps = min(env.num_steps for env in environments)
+            occupied = np.stack(
+                [np.asarray(env.occupancy.occupied[:steps], dtype=bool) for env in environments]
+            )
+            heat_idx = np.empty(len(agents), dtype=np.int64)
+            cool_idx = np.empty(len(agents), dtype=np.int64)
+            off_idx = np.empty(len(agents), dtype=np.int64)
+            on_below = np.empty(len(agents), dtype=float)
+            off_above = np.empty(len(agents), dtype=float)
+            for i, (agent, env) in enumerate(zip(agents, environments)):
+                actions = env.config.actions
+                off_heating, off_cooling = actions.off_setpoints()
+                space = env.action_space
+                heat_idx[i] = space.to_index(*actions.clip(agent.off_above, off_cooling))
+                cool_idx[i] = space.to_index(*actions.clip(off_heating, agent.on_below))
+                off_idx[i] = space.to_index(*actions.clip(off_heating, off_cooling))
+                on_below[i] = agent.on_below
+                off_above[i] = agent.off_above
+            cache = (key, occupied, heat_idx, cool_idx, off_idx, on_below, off_above)
+            lead._batch_cache = cache
+        _, occupied, heat_idx, cool_idx, off_idx, on_below, off_above = cache
+
+        count = len(agents)
+        zone = np.asarray(observations, dtype=float)[:, 0]
+        occ = occupied[:, step]
+        heat_on = np.fromiter((a._heat_on for a in agents), dtype=bool, count=count)
+        cool_on = np.fromiter((a._cool_on for a in agents), dtype=bool, count=count)
+
+        idle = ~heat_on & ~cool_on
+        new_heat = (heat_on & (zone < off_above)) | (idle & (zone < on_below))
+        new_cool = (~heat_on & cool_on & (zone > on_below)) | (
+            idle & ~(zone < on_below) & (zone > off_above)
+        )
+        new_heat &= occ
+        new_cool &= occ
+        for i, agent in enumerate(agents):
+            agent._heat_on = bool(new_heat[i])
+            agent._cool_on = bool(new_cool[i])
+        return ActionBatch(np.where(new_heat, heat_idx, np.where(new_cool, cool_idx, off_idx)))

@@ -69,6 +69,7 @@ def all_rules() -> List[Type[LintRule]]:
     # Importing the rule modules registers them; deferred to avoid cycles.
     from repro.analysis import (  # noqa: F401
         rules_dtype,
+        rules_fleet,
         rules_resources,
         rules_rng,
         rules_schema,

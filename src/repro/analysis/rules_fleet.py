@@ -1,0 +1,172 @@
+"""REP007 — the fleet tick path stays columnar.
+
+The fleet loop's contract is one serving round trip and one environment step
+per *group* per tick, whatever the building count — scalar python work per
+building would turn a thousand-building tick into a thousand interpreter
+iterations and silently erase the columnar data plane the serving stack was
+built around.  Inside ``repro/fleet/`` this rule bans:
+
+* iteration (``for``/comprehensions/generators) over per-building columns —
+  iterables whose terminal name is a building-indexed column
+  (``building_ids``, ``buildings``, ``observations``, ``environments``,
+  ``rewards``, ``setpoint_pairs``), including through ``enumerate``/``zip``
+  wrappers and ``range(len(column))``;
+* ``.tolist()`` / ``.item()`` — materialising python scalars/lists from the
+  telemetry arrays;
+* list-of-dict telemetry — accumulators must stay struct-of-arrays
+  (``report()``/``snapshot()``/``to_dict()`` summary methods are exempt:
+  they run once per report over scalar aggregates, not per tick per
+  building).
+
+Iteration over *groups*, policy versions, or fallback agent banks is fine —
+those collections are O(scenarios), not O(buildings).  One-shot setup work
+over a column (e.g. hashing ids into the canary mask) carries an inline
+justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.context import FileContext, call_name
+from repro.analysis.registry import LintRule, register_rule
+
+#: Terminal names of per-building (B,)-shaped columns.  Deliberately absent:
+#: ``groups``/``bank``/``agents`` (O(scenarios) collections the loop owns)
+#: and ``policy_ids`` (iterated only via ``np.unique`` version grouping).
+_COLUMN_NAMES = {
+    "building_ids",
+    "buildings",
+    "observations",
+    "environments",
+    "rewards",
+    "setpoint_pairs",
+}
+
+#: Attribute calls that materialise python objects from arrays.
+_SCALARISING_METHODS = {
+    "tolist": "materialises a python list from a column",
+    "item": "materialises a python scalar from a column",
+}
+
+#: Wrapper callables whose arguments are themselves iterated.
+_ITER_WRAPPERS = {"enumerate", "zip", "reversed", "sorted", "iter", "list", "tuple"}
+
+#: Summary methods allowed to build dicts (once per report, not per tick).
+_SUMMARY_METHODS = {"report", "snapshot", "to_dict", "describe"}
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a name/attribute/subscript chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return None
+
+
+def _column_in_iterable(node: ast.AST) -> Optional[str]:
+    """The banned column name an iterable expression walks over, if any.
+
+    Resolves direct names (``building_ids``), attribute chains
+    (``self.building_ids``), ``enumerate``/``zip`` wrappers, and the
+    ``range(len(column))`` index-loop idiom.
+    """
+    name = _terminal_name(node)
+    if name in _COLUMN_NAMES:
+        return name
+    if isinstance(node, ast.Call):
+        callee = call_name(node)
+        tail = callee.split(".")[-1] if callee else None
+        if tail in _ITER_WRAPPERS:
+            for arg in node.args:
+                found = _column_in_iterable(arg)
+                if found is not None:
+                    return found
+        elif tail == "range":
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Call)
+                    and call_name(arg) == "len"
+                    and arg.args
+                ):
+                    found = _column_in_iterable(arg.args[0])
+                    if found is not None:
+                        return found
+    return None
+
+
+def _iter_targets(node: ast.AST) -> Iterable[ast.AST]:
+    """Every iterable expression a node loops over (loops + comprehensions)."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        for generator in node.generators:
+            yield generator.iter
+
+
+@register_rule
+class FleetColumnarRule(LintRule):
+    """Keep ``repro/fleet/`` free of per-building python loops and scalars."""
+
+    rule_id = "REP007"
+    title = "fleet: no per-building python loops or dict-of-scalars telemetry"
+    severity = "error"
+    scope = ("fleet/",)
+
+    def check_file(self, ctx: FileContext) -> None:
+        """Flag per-building iteration, scalarising calls, and dict telemetry."""
+        if ctx.tree is None:
+            return
+        summary_spans = [
+            (func.lineno, max(func.lineno, getattr(func, "end_lineno", func.lineno)))
+            for func in ctx.functions()
+            if func.name in _SUMMARY_METHODS
+        ]
+        for node in ast.walk(ctx.tree):
+            for iterable in _iter_targets(node):
+                column = _column_in_iterable(iterable)
+                if column is not None:
+                    ctx.report(
+                        self.rule_id,
+                        node,
+                        self.severity,
+                        f"python iteration over per-building column {column!r} "
+                        "on the fleet path",
+                        suggestion="replace the loop with array ops (np.where, "
+                        "fancy indexing, one scatter per group); one-shot setup "
+                        "work may carry a justified suppression",
+                    )
+            if isinstance(node, ast.Call):
+                self._check_call(ctx, node)
+            elif isinstance(node, ast.ListComp) and isinstance(node.elt, ast.Dict):
+                line = node.lineno
+                if any(lo <= line <= hi for lo, hi in summary_spans):
+                    continue  # once-per-report summary, not per-tick telemetry
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    self.severity,
+                    "list-of-dict materialisation in the fleet subsystem",
+                    suggestion="keep telemetry struct-of-arrays; build dicts only "
+                    "in snapshot()/report() summaries over scalar aggregates",
+                )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> None:
+        """Flag one call if it materialises python objects from a column."""
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SCALARISING_METHODS
+        ):
+            ctx.report(
+                self.rule_id,
+                node,
+                self.severity,
+                f".{node.func.attr}() {_SCALARISING_METHODS[node.func.attr]} "
+                "in the fleet subsystem",
+                suggestion="keep per-building data in arrays end to end; "
+                "reduce to scalars only via float(np.sum(...))-style aggregates",
+            )

@@ -9,6 +9,7 @@ Subcommands::
     repro climates  list climate profiles and descriptor aliases
     repro policies  list/prune/verify the policy store
     repro serve     drive the compiled policy server with a request stream
+    repro fleet     run the closed-loop simulated fleet (canary/shadow/drift)
     repro bench     time rollouts, distillation or serving, write a baseline JSON
 
 Examples::
@@ -23,6 +24,9 @@ Examples::
     python -m repro bench --target serve-sharded --rows 200000 --shards 4
     python -m repro bench --target serve-faults --rows 40000 --shards 4
     python -m repro serve --shards 4 --retries 3 --degraded fallback
+    python -m repro fleet --buildings 1024 --ticks 48 --shards 2 --canary 0.25
+    python -m repro fleet --buildings 256 --canary 0.25 --corrupt-candidate
+    python -m repro bench --target fleet --buildings 512 --ticks 48 --shards 2
     python -m repro policies --verify
 """
 
@@ -358,8 +362,268 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"fallback_rows={fleet_counters.get('fallback_rows', 0)} "
             f"lost_requests={fleet_counters.get('lost_requests', 0)}"
         )
+    if args.stats_json:
+        # Machine-readable fleet/supervisor counters: CI and the fleet loop
+        # assert on restarts / lost_requests without scraping tables.
+        save_json(to_jsonable(stats), args.stats_json)
+        print(f"Wrote {args.stats_json}")
     if args.output:
         save_json(to_jsonable(summary), args.output)
+        print(f"Wrote {args.output}")
+    return 0
+
+
+def _ensure_scenario_policy(store, scenario_name: str, seed: int, decision_data=None) -> str:
+    """Resolve (or tiny-extract) a store policy for one scenario; returns its name."""
+    from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+    from repro.experiments.scenarios import ScenarioSpec
+
+    spec = _resolve(ScenarioSpec.from_name, scenario_name)
+    entries = store.entries(city=spec.city, season=spec.season)
+    if entries:
+        return entries[0].key.name
+    overrides: Dict = {"city": spec.city, "seed": seed, "season": spec.season}
+    if decision_data is not None:
+        overrides["num_decision_data"] = decision_data
+    config = _resolve(PipelineConfig.tiny, **overrides)
+    print(
+        f"Store {store.root} has no {spec.city}/{spec.season} policy; "
+        "extracting a tiny one..."
+    )
+    result = VerifiedPolicyPipeline(config, store=store).run()
+    print(f"Stored policy {result.store_key}")
+    return result.store_key
+
+
+def _corrupted_clone(policy):
+    """Clone a tree policy with every leaf forced to its most aggressive action.
+
+    The deliberately-broken candidate of the rollout tests: structurally a
+    valid policy (so it registers and serves normally) whose decisions
+    maximally disagree with any sane teacher — the drift detector must catch
+    it during the canary.
+    """
+    from repro.core.tree_policy import TreePolicy
+
+    clone = TreePolicy.from_dict(policy.to_dict())
+    extreme = max(clone.action_pairs, key=lambda pair: (pair[0], -pair[1]))
+    for leaf in clone.leaves():
+        clone.set_leaf_action(leaf, *extreme)
+    return clone
+
+
+def _build_mpc_teacher(
+    climate: str, season: str, seed: int, dynamics_model=None, pipeline_config=None
+):
+    """Wrap the RS optimizer as a drift teacher, pipeline hyper-parameters.
+
+    When the caller holds the pipeline's own fitted ``dynamics_model`` (a
+    fresh extraction), the teacher is *exactly* the oracle the incumbent was
+    distilled from — teacher-vs-incumbent disagreement then sits near
+    ``1 - fidelity``, which is what makes the baseline-relative drift alarm
+    discriminating.  Without one (store cache hit), a model is trained from
+    scratch with the same tiny-pipeline hyper-parameters.
+    """
+    from repro.agents.random_shooting import RandomShootingOptimizer
+    from repro.agents.rule_based import RuleBasedAgent
+    from repro.core.pipeline import PipelineConfig
+    from repro.env.dataset import collect_historical_data
+    from repro.env.hvac_env import make_environment
+    from repro.fleet import MPCTeacher
+    from repro.nn.dynamics import ThermalDynamicsModel
+    from repro.weather.climates import get_climate
+
+    city = _resolve(get_climate, climate).name
+    config = pipeline_config or _resolve(
+        PipelineConfig.tiny, city=city, seed=seed, season=season
+    )
+    environment = make_environment(
+        city=city, days=config.historical_days, seed=seed, season=season
+    )
+    if dynamics_model is None:
+        data = collect_historical_data(
+            environment, RuleBasedAgent.from_config(environment), seed=seed + 1
+        )
+        dynamics_model = ThermalDynamicsModel(
+            hidden_sizes=config.hidden_sizes, seed=seed + 2
+        )
+        dynamics_model.fit(data, epochs=config.training_epochs, seed=seed + 3)
+    optimizer = RandomShootingOptimizer(
+        dynamics_model=dynamics_model,
+        action_space=environment.action_space,
+        reward_config=environment.config.reward,
+        action_config=environment.config.actions,
+        num_samples=config.optimizer_samples,
+        horizon=config.planning_horizon,
+        discount=config.discount,
+        seed=seed + 4,
+    )
+    return MPCTeacher(
+        optimizer,
+        environment.action_space.pairs,
+        monte_carlo_runs=config.monte_carlo_runs,
+        planning_horizon=config.planning_horizon,
+        seed=seed + 5,
+    )
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        DriftDetector,
+        FleetGroup,
+        FleetLoop,
+        RolloutManager,
+        ShadowEvaluator,
+        TreePolicyTeacher,
+    )
+    from repro.serving import Fault, ShardedPolicyServer, shard_for_policy
+
+    if args.buildings <= 0:
+        raise CLIError("--buildings must be positive")
+    if args.ticks <= 0:
+        raise CLIError("--ticks must be positive")
+    if args.shards < 1:
+        raise CLIError("--shards must be at least 1")
+    if not 0.0 <= args.canary <= 1.0:
+        raise CLIError("--canary must be a fraction in [0, 1]")
+    if args.inject_kill is not None and args.shards < 2:
+        raise CLIError("--inject-kill needs --shards >= 2")
+    scenario_names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    if not scenario_names:
+        raise CLIError("--scenarios must name at least one scenario")
+
+    store = _open_store(args.store)
+    incumbents = [
+        _ensure_scenario_policy(store, name, args.seed, args.decision_data)
+        for name in scenario_names
+    ]
+    per_group = [
+        args.buildings // len(scenario_names)
+        + (1 if index < args.buildings % len(scenario_names) else 0)
+        for index in range(len(scenario_names))
+    ]
+    groups = [
+        _resolve(
+            FleetGroup.from_scenario,
+            name,
+            policy_id=incumbent,
+            num_buildings=count,
+            base_seed=args.seed + 1000 * index,
+            distinct=args.distinct,
+            days=args.days,
+        )
+        for index, (name, incumbent, count) in enumerate(
+            zip(scenario_names, incumbents, per_group)
+        )
+        if count > 0
+    ]
+
+    rollout = shadow = drift = None
+    candidate_policy = None
+    candidate_id = None
+    if args.canary > 0:
+        stored = store.find(incumbents[0])
+        if stored is None:
+            raise CLIError(f"Incumbent {incumbents[0]} vanished from the store")
+        incumbent_policy = stored.policy
+        if args.corrupt_candidate:
+            candidate_policy = _corrupted_clone(incumbent_policy)
+            candidate_id = "candidate-corrupted"
+        else:
+            from repro.core.tree_policy import TreePolicy
+
+            candidate_policy = TreePolicy.from_dict(incumbent_policy.to_dict())
+            candidate_id = "candidate-healthy"
+        rollout = RolloutManager(
+            incumbents[0],
+            candidate_id,
+            canary_fraction=args.canary,
+            min_canary_ticks=args.min_canary_ticks,
+        )
+        reward = groups[0].env.environments[0].config.reward
+        actions_config = groups[0].env.environments[0].config.actions
+        shadow = ShadowEvaluator(
+            reward.comfort.lower,
+            reward.comfort.upper,
+            *actions_config.off_setpoints(),
+            window=args.window,
+        )
+        if args.drift_teacher == "mpc":
+            from repro.experiments.scenarios import ScenarioSpec
+
+            lead = _resolve(ScenarioSpec.from_name, scenario_names[0])
+            teacher = _build_mpc_teacher(lead.city, lead.season, args.seed + 100)
+        else:
+            teacher = TreePolicyTeacher(incumbent_policy)
+        drift = DriftDetector(
+            teacher,
+            sample_size=args.drift_sample,
+            window=args.window,
+            threshold=args.drift_threshold,
+            min_ticks=max(2, args.window // 2),
+            baseline_policy_id=incumbents[0],
+            seed=args.seed + 7,
+        )
+
+    server = _resolve(
+        ShardedPolicyServer,
+        store=store,
+        num_shards=args.shards,
+        cache_size=args.cache_size,
+        timeout=args.timeout,
+        retries=args.retries,
+        degraded=args.degraded,
+    )
+    try:
+        loop = FleetLoop(
+            server,
+            groups,
+            rollout=rollout,
+            shadow=shadow,
+            drift=drift,
+            fallback=not args.no_fallback,
+        )
+        if rollout is not None:
+            server.register(candidate_id, candidate_policy)
+            rollout.begin_canary(0)
+        for tick in range(args.ticks):
+            if args.inject_kill is not None and tick == args.inject_kill:
+                target = candidate_id if candidate_id is not None else incumbents[0]
+                server.inject_fault(
+                    Fault(kind="kill", shard=shard_for_policy(target, args.shards))
+                )
+            loop.tick()
+        stats = server.stats()
+    finally:
+        server.close()
+
+    report = loop.report()
+    report["server_stats"] = stats
+    telemetry = report["telemetry"]
+    latency = report["tick_latency_seconds"]
+    print(
+        format_table(
+            ["buildings", "ticks", "ticks/s", "p50 ms", "p99 ms", "fallback", "lost", "state"],
+            [[
+                report["buildings"],
+                report["ticks"],
+                round(report["ticks_per_second"], 2),
+                round(latency["p50"] * 1e3, 2),
+                round(latency["p99"] * 1e3, 2),
+                telemetry["fallback_ticks"],
+                telemetry["lost_ticks"],
+                rollout.state if rollout is not None else "-",
+            ]],
+        )
+    )
+    if rollout is not None:
+        for event in report["rollout"]["events"]:
+            print(f"tick {event['tick']}: {event['previous']} -> {event['state']} ({event['reason']})")
+    if args.stats_json:
+        save_json(to_jsonable(stats), args.stats_json)
+        print(f"Wrote {args.stats_json}")
+    if args.output:
+        save_json(to_jsonable(report), args.output)
         print(f"Wrote {args.output}")
     return 0
 
@@ -838,6 +1102,181 @@ def _bench_serve_faults(args: argparse.Namespace) -> Dict:
     }
 
 
+def _bench_fleet(args: argparse.Namespace) -> Dict:
+    """Closed-loop fleet benchmark: tick throughput plus the rollout floors.
+
+    Runs the full fleet loop twice against a scratch store, auditing drift
+    against the incumbent artifact (the deterministic reference-tree oracle;
+    the online-MPC teacher is the ``repro fleet --drift-teacher mpc`` path):
+
+    * **healthy phase** — a bit-identical clone of the incumbent is canaried;
+      on multi-shard runs its shard is killed mid-canary.  The candidate must
+      *promote* with zero lost ticks — this phase also provides the
+      throughput/latency numbers (tick p50/p99, ticks/s).
+    * **corrupted phase** — a clone with every leaf forced to its most
+      aggressive action is canaried.  The drift detector must alarm and
+      *roll back* before the canary window closes; the alarm latency (ticks
+      from canary start to first alarm) is recorded.
+
+    CI floors gate on: zero lost ticks in both phases, ``promoted`` in the
+    healthy phase and ``rolled_back`` + ``drift_alarm_fired`` in the
+    corrupted one.
+    """
+    import os
+    import tempfile
+
+    from repro.core.tree_policy import TreePolicy
+    from repro.fleet import (
+        DriftDetector,
+        FleetGroup,
+        FleetLoop,
+        RolloutManager,
+        ShadowEvaluator,
+    )
+    from repro.serving import Fault, ShardedPolicyServer, shard_for_policy
+    from repro.store import PolicyStore
+
+    if args.buildings <= 0:
+        raise CLIError("--buildings must be positive")
+    if args.ticks <= 0:
+        raise CLIError("--ticks must be positive")
+    if args.shards < 1:
+        raise CLIError("--shards must be at least 1")
+    scenario = f"{args.climate}/{args.season}"
+    min_canary_ticks = max(4, args.ticks // 4)
+    kill_tick = args.ticks // 8 if args.shards >= 2 else None
+    timeout = args.timeout if args.timeout is not None else 10.0
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as scratch:
+        from repro.core.pipeline import PipelineConfig, VerifiedPolicyPipeline
+        from repro.weather.climates import get_climate
+
+        store = PolicyStore(scratch)
+        city = _resolve(get_climate, args.climate).name
+        overrides: Dict = {"city": city, "seed": args.seed, "season": args.season}
+        if args.decision_data is not None:
+            overrides["num_decision_data"] = args.decision_data
+        pipeline_config = _resolve(PipelineConfig.tiny, **overrides)
+        result = VerifiedPolicyPipeline(pipeline_config, store=store).run()
+        incumbent = result.store_key
+        incumbent_policy = result.policy
+        # The drift oracle is the verified incumbent artifact itself: at
+        # CI/bench scale the tiny MPC teacher's labels are noise-dominated on
+        # near-tie (unoccupied) states, so its baseline-relative excess cannot
+        # discriminate; the reference tree makes the corrupted-candidate alarm
+        # a deterministic floor.  `repro fleet --drift-teacher mpc` runs the
+        # faithful online-MPC audit.
+        from repro.fleet import TreePolicyTeacher
+
+        teacher = TreePolicyTeacher(incumbent_policy)
+
+        def run_phase(candidate_policy, candidate_id: str, inject_kill) -> Dict:
+            group = _resolve(
+                FleetGroup.from_scenario,
+                scenario,
+                policy_id=incumbent,
+                num_buildings=args.buildings,
+                base_seed=args.seed,
+                days=1,
+            )
+            env_config = group.env.environments[0].config
+            rollout = RolloutManager(
+                incumbent,
+                candidate_id,
+                canary_fraction=0.25,
+                min_canary_ticks=min_canary_ticks,
+            )
+            shadow = ShadowEvaluator(
+                env_config.reward.comfort.lower,
+                env_config.reward.comfort.upper,
+                *env_config.actions.off_setpoints(),
+                window=16,
+            )
+            # The alarm needs headroom to fire *inside* the canary window:
+            # min_ticks must undercut min_canary_ticks or the shadow gate
+            # always wins the race.
+            drift = DriftDetector(
+                teacher,
+                sample_size=24,
+                window=16,
+                threshold=0.3,
+                min_ticks=max(2, min(8, min_canary_ticks - 1)),
+                baseline_policy_id=incumbent,
+                seed=args.seed + 7,
+            )
+            server = ShardedPolicyServer(
+                store=store,
+                num_shards=args.shards,
+                cache_size=8,
+                timeout=timeout,
+                retries=args.retries,
+                degraded=args.degraded,
+            )
+            try:
+                loop = FleetLoop(
+                    server, [group], rollout=rollout, shadow=shadow, drift=drift
+                )
+                server.register(candidate_id, candidate_policy)
+                rollout.begin_canary(0)
+                for tick in range(args.ticks):
+                    if inject_kill is not None and tick == inject_kill:
+                        server.inject_fault(
+                            Fault(
+                                kind="kill",
+                                shard=shard_for_policy(candidate_id, args.shards),
+                            )
+                        )
+                    loop.tick()
+                stats = server.stats()
+            finally:
+                server.close()
+            report = loop.report()
+            first_alarm = drift.first_alarm_tick(candidate_id)
+            report["drift_alarm_fired"] = first_alarm is not None
+            report["drift_alarm_latency_ticks"] = (
+                first_alarm + 1 if first_alarm is not None else None
+            )
+            report["restarts"] = stats.get("supervisor", {}).get("restarts", 0)
+            return report
+
+        healthy = run_phase(
+            TreePolicy.from_dict(incumbent_policy.to_dict()),
+            "candidate-healthy",
+            kill_tick,
+        )
+        corrupted = run_phase(
+            _corrupted_clone(incumbent_policy), "candidate-corrupted", None
+        )
+
+    tick_latency = healthy["tick_latency_seconds"]
+    serve_latency = healthy["serve_latency_seconds"]
+    return {
+        "benchmark": "fleet",
+        "buildings": args.buildings,
+        "ticks": args.ticks,
+        "shards": args.shards,
+        "cpu_count": os.cpu_count(),
+        "canary_fraction": 0.25,
+        "min_canary_ticks": min_canary_ticks,
+        "kill_tick": kill_tick,
+        "ticks_per_second": healthy["ticks_per_second"],
+        "building_ticks_per_second": healthy["building_ticks_per_second"],
+        "tick_latency_p50_ms": tick_latency["p50"] * 1e3,
+        "tick_latency_p99_ms": tick_latency["p99"] * 1e3,
+        "serve_latency_p50_ms": serve_latency["p50"] * 1e3,
+        "serve_latency_p99_ms": serve_latency["p99"] * 1e3,
+        "promoted": healthy["rollout"]["state"] == "promoted",
+        "rolled_back": corrupted["rollout"]["state"] == "rolled_back",
+        "drift_alarm_fired": corrupted["drift_alarm_fired"],
+        "drift_alarm_latency_ticks": corrupted["drift_alarm_latency_ticks"],
+        "lost_ticks": healthy["telemetry"]["lost_ticks"]
+        + corrupted["telemetry"]["lost_ticks"],
+        "fallback_ticks": healthy["telemetry"]["fallback_ticks"]
+        + corrupted["telemetry"]["fallback_ticks"],
+        "restarts": healthy["restarts"] + corrupted["restarts"],
+    }
+
+
 _BENCH_TARGETS = {
     "rollout": _bench_rollout,
     "distill": _bench_distill,
@@ -845,6 +1284,7 @@ _BENCH_TARGETS = {
     "serve-columnar": _bench_serve_columnar,
     "serve-sharded": _bench_serve_sharded,
     "serve-faults": _bench_serve_faults,
+    "fleet": _bench_fleet,
 }
 
 
@@ -1010,8 +1450,110 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--decision-data", type=int, default=None, help="decision-dataset size for auto-extraction"
     )
+    serve.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write the raw server counters (fleet/supervisor) as JSON here",
+    )
     serve.add_argument("--output", default=None, help="write the throughput summary JSON here")
     serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run the closed-loop simulated fleet (canary/shadow/drift rollouts)",
+        description="Drive a fleet of simulated buildings through the serving "
+        "stack tick by tick: observations out, actions back, telemetry "
+        "accumulated — with optional canary rollout of a candidate policy "
+        "gated on shadow evaluation and teacher-drift detection.",
+    )
+    fleet.add_argument("--buildings", type=int, default=256, help="total simulated buildings")
+    fleet.add_argument("--ticks", type=int, default=48, help="control ticks to run")
+    fleet.add_argument(
+        "--scenarios",
+        default="pittsburgh/winter",
+        help="comma-separated scenario names (city/season); buildings are split across them",
+    )
+    fleet.add_argument("--days", type=int, default=None, help="episode length per building")
+    fleet.add_argument(
+        "--distinct",
+        type=int,
+        default=16,
+        help="distinct disturbance traces per group (tiled across the buildings)",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=1, help="serving worker processes (1 = in-process)"
+    )
+    fleet.add_argument("--cache-size", type=int, default=8, help="compiled-policy LRU size (per shard)")
+    fleet.add_argument("--timeout", type=float, default=10.0, help="per-attempt shard timeout seconds")
+    fleet.add_argument("--retries", type=int, default=2, help="re-dispatch attempts per failed slice")
+    fleet.add_argument(
+        "--degraded",
+        default="fail",
+        choices=["fail", "fallback"],
+        help="server behaviour when the retry budget is exhausted",
+    )
+    fleet.add_argument(
+        "--canary",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="canary a candidate policy on this fraction of buildings (0 disables)",
+    )
+    fleet.add_argument(
+        "--corrupt-candidate",
+        action="store_true",
+        help="canary a deliberately broken candidate (exercises drift alarm + rollback)",
+    )
+    fleet.add_argument(
+        "--min-canary-ticks",
+        type=int,
+        default=16,
+        help="healthy canary ticks required before promotion",
+    )
+    fleet.add_argument(
+        "--drift-teacher",
+        default="tree",
+        choices=["tree", "mpc"],
+        help="drift oracle: the incumbent tree (cheap) or the MPC optimizer (faithful)",
+    )
+    fleet.add_argument(
+        "--drift-sample", type=int, default=32, help="fleet rows audited per tick"
+    )
+    fleet.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.25,
+        help="excess teacher-disagreement (over the incumbent) that trips the alarm",
+    )
+    fleet.add_argument(
+        "--window", type=int, default=16, help="shadow/drift sliding window in ticks"
+    )
+    fleet.add_argument(
+        "--inject-kill",
+        type=int,
+        default=None,
+        metavar="TICK",
+        help="kill the candidate's shard at this tick (needs --shards >= 2)",
+    )
+    fleet.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the hysteresis degraded mode (failed ticks become lost ticks)",
+    )
+    fleet.add_argument("--store", default=None, metavar="PATH", help="policy store root")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--decision-data", type=int, default=None, help="decision-dataset size for auto-extraction"
+    )
+    fleet.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write the raw server counters (fleet/supervisor) as JSON here",
+    )
+    fleet.add_argument("--output", default=None, help="write the full fleet report JSON here")
+    fleet.set_defaults(func=cmd_fleet)
 
     bench = sub.add_parser(
         "bench",
@@ -1027,12 +1569,14 @@ def build_parser() -> argparse.ArgumentParser:
             "serve-columnar",
             "serve-sharded",
             "serve-faults",
+            "fleet",
         ],
         help=(
             "what to benchmark: rollouts, decision-dataset distillation, policy "
             "serving, the columnar vs legacy serving front door, the "
-            "multi-process sharded server vs single-process columnar, or "
-            "fleet recovery under injected kill/hang faults"
+            "multi-process sharded server vs single-process columnar, "
+            "fleet recovery under injected kill/hang faults, or the "
+            "closed-loop fleet (throughput + canary/rollback floors)"
         ),
     )
     bench.add_argument("--agent", default="rule_based")
@@ -1060,6 +1604,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--rows", type=int, default=20000, help="request batch rows (serve target)"
+    )
+    bench.add_argument(
+        "--buildings", type=int, default=512, help="simulated buildings (fleet target)"
+    )
+    bench.add_argument(
+        "--ticks", type=int, default=48, help="control ticks per phase (fleet target)"
+    )
+    bench.add_argument(
+        "--decision-data",
+        type=int,
+        default=None,
+        help="decision-dataset size for auto-extraction (fleet target)",
     )
     bench.add_argument(
         "--shards",

@@ -1,0 +1,55 @@
+"""Closed-loop fleet operations over the serving stack.
+
+This package connects the repo's two halves: thousands of simulated buildings
+(:class:`~repro.env.vector_env.BatchedHVACEnvironment` groups) stream
+observations into the policy-serving tier and apply the returned actions,
+tick by tick, like a SCADA telemetry loop — with the operational safeguards a
+real fleet needs around policy changes:
+
+* :class:`FleetLoop` / :class:`FleetGroup` — the tick loop and its per-scenario
+  building groups, with a hysteresis-thermostat degraded mode
+  (:mod:`repro.fleet.loop`);
+* :class:`FleetTelemetry` — columnar, windowed per-building comfort/energy
+  accounting (:mod:`repro.fleet.telemetry`);
+* :class:`ShadowEvaluator` — candidate-vs-incumbent comparison on live
+  observations without applying candidate actions (:mod:`repro.fleet.shadow`);
+* :class:`DriftDetector` / :class:`MPCTeacher` / :class:`TreePolicyTeacher` —
+  online audit of served actions against the MPC teacher on sampled states
+  (:mod:`repro.fleet.drift`);
+* :class:`RolloutManager` — the canary → promote → rollback state machine over
+  content-addressed policy versions (:mod:`repro.fleet.rollout`).
+
+Everything on the tick path is columnar; reprolint's REP007 rule enforces
+that no per-building python loops or dict-of-scalars telemetry creep in.
+"""
+
+from repro.fleet.drift import DriftDetector, MPCTeacher, TreePolicyTeacher
+from repro.fleet.loop import FleetGroup, FleetLoop
+from repro.fleet.rollout import (
+    CANARY,
+    IDLE,
+    PROMOTED,
+    ROLLED_BACK,
+    RolloutEvent,
+    RolloutManager,
+    canary_mask,
+)
+from repro.fleet.shadow import ShadowEvaluator
+from repro.fleet.telemetry import FleetTelemetry
+
+__all__ = [
+    "CANARY",
+    "DriftDetector",
+    "FleetGroup",
+    "FleetLoop",
+    "FleetTelemetry",
+    "IDLE",
+    "MPCTeacher",
+    "PROMOTED",
+    "ROLLED_BACK",
+    "RolloutEvent",
+    "RolloutManager",
+    "ShadowEvaluator",
+    "TreePolicyTeacher",
+    "canary_mask",
+]

@@ -1,0 +1,194 @@
+"""Canary → promote → rollback over the store's content-addressed versions.
+
+The :class:`RolloutManager` moves one (incumbent, candidate) pair of policy
+ids through a four-state machine:
+
+``idle`` → (:meth:`RolloutManager.begin_canary`) → ``canary`` →
+``promoted`` | ``rolled_back``
+
+* **canary** — a fixed fraction of buildings serve the candidate, everyone
+  else keeps the incumbent.  Membership is a *stable hash* of the building
+  id (CRC-32, the same family the serving tier uses for policy routing), so
+  the slice is identical across runs, processes and restarts — no RNG, no
+  ordering dependence.
+* **promoted** — after ``min_canary_ticks`` healthy ticks (shadow gate green,
+  no drift alarm) every building serves the candidate.  Because store
+  versions are content-addressed, "promote" is just serving a different key;
+  nothing is overwritten.
+* **rolled_back** — the moment a drift alarm fires, or the shadow gate is red
+  when the canary window closes, every building — canary slice included —
+  reverts to the incumbent key.  The incumbent artifact was never mutated,
+  so rollback is exact by construction; the fleet loop's telemetry then
+  shows the canary slice's actions coming back bit-identical to a fleet that
+  never canaried.
+
+Transitions are recorded as :class:`RolloutEvent`s (tick, from, to, reason)
+for the operator log and the test suite.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+IDLE = "idle"
+CANARY = "canary"
+PROMOTED = "promoted"
+ROLLED_BACK = "rolled_back"
+
+#: Hash-space resolution of the canary fraction (0.01% granularity).
+_HASH_BUCKETS = 10_000
+
+
+def canary_mask(building_ids: np.ndarray, fraction: float, salt: str = "") -> np.ndarray:
+    """Stable-hash canary membership for a building-id column.
+
+    ``crc32(salt + id) % 10_000 < fraction * 10_000`` — deterministic across
+    runs and independent of fleet ordering, so adding or removing groups
+    never reshuffles which buildings are canaries.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    cutoff = int(round(fraction * _HASH_BUCKETS))
+    prefix = salt.encode()
+    # One-time per-rollout setup over the id column; every per-tick decision
+    # downstream is pure array ops on the resulting mask.
+    return np.fromiter(
+        (
+            zlib.crc32(prefix + str(building_id).encode()) % _HASH_BUCKETS < cutoff
+            for building_id in building_ids  # reprolint: disable=REP007 -- one-shot hashing of the id column at canary setup, never on the tick path
+        ),
+        dtype=bool,
+        count=len(building_ids),
+    )
+
+
+@dataclass
+class RolloutEvent:
+    """One state-machine transition, for the operator log."""
+
+    tick: int
+    previous: str
+    state: str
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form."""
+        return {
+            "tick": self.tick,
+            "previous": self.previous,
+            "state": self.state,
+            "reason": self.reason,
+        }
+
+
+class RolloutManager:
+    """State machine gating one candidate version behind shadow/drift health."""
+
+    def __init__(
+        self,
+        incumbent_id: str,
+        candidate_id: str,
+        canary_fraction: float = 0.1,
+        min_canary_ticks: int = 16,
+        salt: str = "",
+    ):
+        if incumbent_id == candidate_id:
+            raise ValueError("candidate must differ from the incumbent")
+        if not 0.0 < canary_fraction <= 1.0:
+            raise ValueError(f"canary_fraction must be in (0, 1], got {canary_fraction}")
+        if min_canary_ticks <= 0:
+            raise ValueError("min_canary_ticks must be positive")
+        self.incumbent_id = str(incumbent_id)
+        self.candidate_id = str(candidate_id)
+        self.canary_fraction = float(canary_fraction)
+        self.min_canary_ticks = int(min_canary_ticks)
+        self.salt = salt
+        self.state = IDLE
+        self.canary_started_tick: Optional[int] = None
+        self.events: List[RolloutEvent] = []
+
+    # ------------------------------------------------------------ membership
+    def canary_mask(self, building_ids: np.ndarray) -> np.ndarray:
+        """Stable canary membership for a group's building-id column."""
+        return canary_mask(building_ids, self.canary_fraction, salt=self.salt)
+
+    def serving_ids(self, incumbent_ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """The policy-id column to serve this tick for one group.
+
+        ``incumbent_ids`` is the group's incumbent id broadcast over its rows
+        and ``mask`` its canary membership; rows outside the rollout's
+        incumbent are passed through untouched.
+        """
+        incumbent_ids = np.asarray(incumbent_ids)
+        managed = incumbent_ids == self.incumbent_id
+        if self.state == CANARY:
+            return np.where(managed & mask, self.candidate_id, incumbent_ids)
+        if self.state == PROMOTED:
+            return np.where(managed, self.candidate_id, incumbent_ids)
+        return incumbent_ids.copy()
+
+    # ------------------------------------------------------------ transitions
+    def _transition(self, tick: int, state: str, reason: str) -> None:
+        self.events.append(
+            RolloutEvent(tick=tick, previous=self.state, state=state, reason=reason)
+        )
+        self.state = state
+
+    def begin_canary(self, tick: int) -> None:
+        """Start serving the candidate on the canary slice."""
+        if self.state != IDLE:
+            raise RuntimeError(f"Cannot begin a canary from state {self.state!r}")
+        self.canary_started_tick = tick
+        self._transition(
+            tick,
+            CANARY,
+            f"canary {self.candidate_id} at {self.canary_fraction:.0%} of "
+            f"{self.incumbent_id} buildings",
+        )
+
+    def on_tick(self, tick: int, shadow_healthy: bool, drift_alarmed: bool) -> str:
+        """Advance the machine one tick; returns the (possibly new) state.
+
+        A drift alarm rolls back immediately; the shadow gate is consulted
+        when the canary window closes (``min_canary_ticks`` after the canary
+        began): green promotes, red rolls back.
+        """
+        if self.state != CANARY:
+            return self.state
+        if drift_alarmed:
+            self._transition(tick, ROLLED_BACK, "drift alarm on the candidate")
+            return self.state
+        assert self.canary_started_tick is not None
+        elapsed = tick - self.canary_started_tick + 1
+        if elapsed >= self.min_canary_ticks:
+            if shadow_healthy:
+                self._transition(
+                    tick, PROMOTED, f"shadow gate green after {elapsed} canary ticks"
+                )
+            else:
+                self._transition(
+                    tick, ROLLED_BACK, f"shadow gate red after {elapsed} canary ticks"
+                )
+        return self.state
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def active(self) -> bool:
+        """Whether the candidate is still being canaried."""
+        return self.state == CANARY
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-friendly state + transition log."""
+        return {
+            "incumbent": self.incumbent_id,
+            "candidate": self.candidate_id,
+            "canary_fraction": self.canary_fraction,
+            "min_canary_ticks": self.min_canary_ticks,
+            "state": self.state,
+            "canary_started_tick": self.canary_started_tick,
+            "events": [event.to_dict() for event in self.events],
+        }

@@ -1,0 +1,166 @@
+"""Columnar per-building fleet telemetry.
+
+Every accumulator in here is a ``(B,)`` array indexed by the fleet's global
+building order (groups are contiguous slices of it), updated with one scatter
+per group per tick — no per-building python objects, no dict-of-scalars rows
+(reprolint REP007 keeps it that way).  Windowed statistics live in
+``(window, B)`` ring buffers written at ``tick % window``, so "the last N
+ticks" is a mean over a fixed-size buffer regardless of how long the loop has
+been running.
+
+Because the serving stack is action-exact (sharded responses are bit-identical
+to the in-process server, through worker kills included), telemetry is
+bit-identical across serving topologies — the determinism suite compares these
+arrays directly with ``np.array_equal``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.data import InfoBatch
+
+
+class FleetTelemetry:
+    """Windowed, columnar comfort/energy accounting for one fleet."""
+
+    def __init__(self, building_ids: np.ndarray, step_hours: float, window: int = 96):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.building_ids = np.asarray(building_ids)
+        self.step_hours = float(step_hours)
+        self.window = int(window)
+        count = len(self.building_ids)
+        if count == 0:
+            raise ValueError("A fleet needs at least one building")
+        #: Completed ticks (one tick = one synchronized step of every group).
+        self.ticks = 0
+        #: Ticks served by the degraded-mode fallback controller.
+        self.fallback_ticks = 0
+        #: Ticks where no actions could be produced at all (floor: zero).
+        self.lost_ticks = 0
+        #: Episode boundaries crossed (groups auto-reset and keep running).
+        self.episodes_completed = 0
+        self.energy_kwh = np.zeros(count)
+        self.energy_proxy = np.zeros(count)
+        self.reward_sum = np.zeros(count)
+        self.comfort_violation_degree_hours = np.zeros(count)
+        self.comfort_violated_ticks = np.zeros(count)
+        self.occupied_ticks = np.zeros(count)
+        self._ring_reward = np.zeros((self.window, count))
+        self._ring_energy = np.zeros((self.window, count))
+        self._ring_violation = np.zeros((self.window, count))
+
+    def __len__(self) -> int:
+        return len(self.building_ids)
+
+    # ------------------------------------------------------------- recording
+    def record_group(self, offset: int, rewards: np.ndarray, info: InfoBatch) -> None:
+        """Fold one group's step result into the fleet accumulators.
+
+        ``offset`` is the group's starting row in the fleet's global building
+        order; the group occupies ``offset : offset + len(rewards)``.  Call
+        once per group, then :meth:`advance_tick` once per tick.
+        """
+        rewards = np.asarray(rewards, dtype=float)
+        hi = offset + len(rewards)
+        energy = np.asarray(info["hvac_electric_energy_kwh"], dtype=float)
+        proxy = np.asarray(info["energy_proxy"], dtype=float)
+        violation = np.asarray(info["comfort_violation"], dtype=float)
+        violated = np.asarray(info["comfort_violated"], dtype=float)
+        occupied = np.asarray(info["occupied"], dtype=float)
+        self.energy_kwh[offset:hi] += energy
+        self.energy_proxy[offset:hi] += proxy
+        self.reward_sum[offset:hi] += rewards
+        self.comfort_violation_degree_hours[offset:hi] += violation * self.step_hours
+        self.comfort_violated_ticks[offset:hi] += violated
+        self.occupied_ticks[offset:hi] += occupied
+        cursor = self.ticks % self.window
+        self._ring_reward[cursor, offset:hi] = rewards
+        self._ring_energy[cursor, offset:hi] = energy
+        self._ring_violation[cursor, offset:hi] = violation
+
+    def advance_tick(self, fallback: bool = False, lost: bool = False) -> None:
+        """Close the current tick (after every group recorded its slice)."""
+        self.ticks += 1
+        if fallback:
+            self.fallback_ticks += 1
+        if lost:
+            self.lost_ticks += 1
+
+    # ------------------------------------------------------------- windowed
+    def _window_filled(self) -> int:
+        return min(self.ticks, self.window)
+
+    def windowed_mean_reward(self) -> np.ndarray:
+        """Per-building mean reward over the last ``window`` ticks, ``(B,)``."""
+        filled = self._window_filled()
+        if filled == 0:
+            return np.zeros(len(self))
+        return self._ring_reward[:filled].mean(axis=0)
+
+    def windowed_mean_energy_kwh(self) -> np.ndarray:
+        """Per-building mean electric energy per tick over the window, ``(B,)``."""
+        filled = self._window_filled()
+        if filled == 0:
+            return np.zeros(len(self))
+        return self._ring_energy[:filled].mean(axis=0)
+
+    def windowed_mean_violation(self) -> np.ndarray:
+        """Per-building mean comfort violation (°C) over the window, ``(B,)``."""
+        filled = self._window_filled()
+        if filled == 0:
+            return np.zeros(len(self))
+        return self._ring_violation[:filled].mean(axis=0)
+
+    # -------------------------------------------------------------- summary
+    def snapshot(self) -> Dict[str, Any]:
+        """Fleet-level aggregate summary (JSON-friendly scalars only)."""
+        buildings = len(self)
+        ticks = max(self.ticks, 1)
+        return {
+            "buildings": buildings,
+            "ticks": self.ticks,
+            "fallback_ticks": self.fallback_ticks,
+            "lost_ticks": self.lost_ticks,
+            "episodes_completed": self.episodes_completed,
+            "total_energy_kwh": float(np.sum(self.energy_kwh)),
+            "mean_energy_kwh_per_building_tick": float(
+                np.sum(self.energy_kwh) / (buildings * ticks)
+            ),
+            "mean_reward_per_building_tick": float(
+                np.sum(self.reward_sum) / (buildings * ticks)
+            ),
+            "comfort_violation_degree_hours": float(
+                np.sum(self.comfort_violation_degree_hours)
+            ),
+            "comfort_violated_tick_fraction": float(
+                np.sum(self.comfort_violated_ticks) / (buildings * ticks)
+            ),
+            "windowed_mean_reward": float(np.mean(self.windowed_mean_reward())),
+            "windowed_mean_energy_kwh": float(np.mean(self.windowed_mean_energy_kwh())),
+            "windowed_mean_violation": float(np.mean(self.windowed_mean_violation())),
+        }
+
+    def equals(self, other: "FleetTelemetry") -> bool:
+        """Bit-identical comparison of every accumulator (determinism tests)."""
+        return (
+            self.ticks == other.ticks
+            and self.fallback_ticks == other.fallback_ticks
+            and self.lost_ticks == other.lost_ticks
+            and self.episodes_completed == other.episodes_completed
+            and np.array_equal(self.building_ids, other.building_ids)
+            and np.array_equal(self.energy_kwh, other.energy_kwh)
+            and np.array_equal(self.energy_proxy, other.energy_proxy)
+            and np.array_equal(self.reward_sum, other.reward_sum)
+            and np.array_equal(
+                self.comfort_violation_degree_hours,
+                other.comfort_violation_degree_hours,
+            )
+            and np.array_equal(self.comfort_violated_ticks, other.comfort_violated_ticks)
+            and np.array_equal(self._ring_reward, other._ring_reward)
+            and np.array_equal(self._ring_energy, other._ring_energy)
+            and np.array_equal(self._ring_violation, other._ring_violation)
+        )

@@ -469,6 +469,69 @@ class TestTimeoutDiscipline:
         assert result.findings == []
 
 
+# ----------------------------------------------------------------- REP007
+class TestFleetColumnar:
+    def test_flags_per_building_loops_and_scalarising_calls(self, tmp_path):
+        write_tree(tmp_path, {
+            "fleet/bad.py": """
+                def accumulate(building_ids, telemetry):
+                    rows = []
+                    for building_id in building_ids:
+                        rows.append({"id": building_id})
+                    for i in range(len(building_ids)):
+                        telemetry[i] += 1
+                    return telemetry.tolist()
+            """,
+        })
+        result = lint(tmp_path, only=("REP007",))
+        assert rules_of(result) == ["REP007", "REP007", "REP007"]
+
+    def test_flags_wrapped_iteration_and_dict_telemetry(self, tmp_path):
+        write_tree(tmp_path, {
+            "fleet/bad.py": """
+                def fold(observations, rewards):
+                    pairs = [obs for obs in zip(observations, rewards)]
+                    return [{"reward": float(r)} for r in pairs]
+            """,
+        })
+        result = lint(tmp_path, only=("REP007",))
+        assert rules_of(result) == ["REP007", "REP007"]
+
+    def test_columnar_code_group_loops_and_summaries_pass(self, tmp_path):
+        write_tree(tmp_path, {
+            "fleet/good.py": """
+                import numpy as np
+
+                def tick(groups, observations, rewards):
+                    total = np.sum(rewards)
+                    for group in groups:
+                        group.step()
+                    return total
+
+                class Telemetry:
+                    def report(self, groups):
+                        return [{"name": g.name} for g in groups]
+            """,
+        })
+        result = lint(tmp_path, only=("REP007",))
+        assert result.findings == []
+
+    def test_scope_is_fleet_only_and_suppression_honored(self, tmp_path):
+        write_tree(tmp_path, {
+            "env/elsewhere.py": """
+                def walk(building_ids):
+                    return [b for b in building_ids]
+            """,
+            "fleet/justified.py": """
+                def mask(building_ids):
+                    return [hash(b) for b in building_ids]  # reprolint: disable=REP007 -- one-shot setup
+            """,
+        })
+        result = lint(tmp_path, only=("REP007",))
+        assert result.findings == []
+        assert result.suppressed_count == 1
+
+
 # ------------------------------------------------------------ suppressions
 class TestSuppressions:
     def test_trailing_directive_silences_only_its_rule(self, tmp_path):
