@@ -68,6 +68,7 @@ def all_rules() -> List[Type[LintRule]]:
     """Every registered rule class, sorted by rule id."""
     # Importing the rule modules registers them; deferred to avoid cycles.
     from repro.analysis import (  # noqa: F401
+        rules_arena,
         rules_dtype,
         rules_fleet,
         rules_resources,

@@ -1,0 +1,94 @@
+"""REP008 — no materialising copies of arena-resolved arrays on serving paths.
+
+The packed arena's whole point is that a policy's compiled arrays are
+read-only views into one shared mmap: every shard that resolves a policy
+maps the same physical pages, cold load is O(1), and the fleet's resident
+footprint does not scale with the shard count.  A single ``.copy()`` (or a
+``.tolist()`` materialisation) on one of those arrays silently re-privatises
+the pages — serving keeps working, the benchmark numbers quietly rot.  This
+rule bans the copy vocabulary on any receiver that names one of the six
+compiled-array sections (``feature`` / ``threshold`` / ``left`` / ``right``
+/ ``leaf_action`` / ``action_pairs``) or mentions an arena, across the
+serving layer and the arena module itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.context import FileContext
+from repro.analysis.registry import LintRule, register_rule
+
+#: Attribute-call tails that materialise a private copy of an array.
+_FORBIDDEN_METHODS = {
+    "copy": "re-privatises shared mmap pages",
+    "tolist": "materialises python objects from a shared view",
+}
+
+#: Receiver name tails that identify an arena-resolved compiled array.
+_ARENA_ARRAYS = {
+    "feature",
+    "threshold",
+    "left",
+    "right",
+    "leaf_action",
+    "action_pairs",
+}
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    """The dotted name of an attribute-call receiver, if it is one.
+
+    ``compiled.feature`` -> ``"compiled.feature"``; subscripts and calls
+    (``rows[0].copy()``, ``resolve(pid).copy()``) return ``None`` — the rule
+    only fires on receivers it can actually vouch for.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register_rule
+class ArenaCopyRule(LintRule):
+    """Ban ``.copy()``/``.tolist()`` on arena-resolved arrays in serving code."""
+
+    rule_id = "REP008"
+    title = "arena views stay shared: no .copy()/.tolist() on compiled-array receivers"
+    severity = "error"
+    scope = ("serving/", "store/arena.py")
+
+    def check_file(self, ctx: FileContext) -> None:
+        """Flag copy-vocabulary calls whose receiver names an arena array."""
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            if method not in _FORBIDDEN_METHODS:
+                continue
+            receiver = _receiver_name(node.func.value)
+            if receiver is None:
+                continue
+            tail = receiver.split(".")[-1]
+            if tail not in _ARENA_ARRAYS and "arena" not in receiver.lower():
+                continue
+            ctx.report(
+                self.rule_id,
+                node,
+                self.severity,
+                f"{receiver}.{method}() {_FORBIDDEN_METHODS[method]} "
+                "on an arena-resolved compiled array",
+                suggestion="operate on the read-only view in place; if a "
+                "mutable scratch array is genuinely needed, allocate it "
+                "explicitly with np.array(..., copy=True) outside the "
+                "serving path and justify the suppression",
+            )

@@ -35,7 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.reprolint import add_lint_arguments, run_lint_command
 from repro.utils.serialization import save_json, to_jsonable
@@ -195,6 +195,11 @@ def cmd_policies(args: argparse.Namespace) -> int:
             store.prune, keep=args.prune_keep, city=city, season=args.season
         )
         print(f"Pruned {len(removed)} artifact(s) from {store.root}")
+    if args.pack is not None:
+        # Pack before verify so a --pack --verify run checks the fresh arena.
+        target = None if args.pack is True else args.pack
+        arena_path = _resolve(store.pack, path=target, city=city, season=args.season)
+        print(f"Packed arena {arena_path} ({arena_path.stat().st_size} bytes)")
     if args.verify:
         report = store.verify()
         bad = [name for name, ok in report.items() if not ok]
@@ -263,6 +268,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     store = _open_store(args.store)
     if not store.entries():
         _ensure_store_policy(store, args)
+    # --arena maps straight onto resolve_arena(): absent -> auto-detect,
+    # bare flag -> require, PATH -> open that file.
+    arena = True if args.arena is True else (args.arena if args.arena else None)
     sharded = args.shards > 1
     if sharded:
         # The sharded fleet speaks columnar natively; the per-request object
@@ -275,12 +283,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             degraded=args.degraded,
+            arena=arena,
         )
     else:
-        server = _resolve(PolicyServer, store=store, cache_size=args.cache_size)
+        server = _resolve(PolicyServer, store=store, cache_size=args.cache_size, arena=arena)
+    if server.arena_error:
+        print(f"arena skipped: {server.arena_error}")
     policy_ids = [entry.key.name for entry in store.entries()]
     if sharded:
-        dim = PolicyServer(store=store, cache_size=1).resolve(policy_ids[0]).n_features
+        dim = PolicyServer(store=store, cache_size=1, arena=False).resolve(policy_ids[0]).n_features
     else:
         dim = server.resolve(policy_ids[0]).n_features
 
@@ -315,9 +326,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         wall = time.perf_counter() - start
         stats = server.stats() if sharded else server.stats.to_dict()
     finally:
-        # A serving error must not strand the worker fleet or its rings.
-        if sharded:
-            server.close()
+        # A serving error must not strand the worker fleet, its rings, or an
+        # arena mapping the server opened itself.
+        server.close()
     summary = {
         "requests": served,
         "batch_size": args.batch_size,
@@ -1102,6 +1113,346 @@ def _bench_serve_faults(args: argparse.Namespace) -> Dict:
     }
 
 
+def _synthetic_store_policies(store, count: int, seed: int) -> List[str]:
+    """Fill ``store`` with ``count`` small random tree policies; returns names.
+
+    Trees are built node-by-node (no CART fit — the bench measures the store,
+    not extraction) with thresholds drawn from the Table-1 observation ranges
+    so requests actually route through both branches.  All policies share the
+    canonical feature list, matching a real fleet where every building speaks
+    the same observation schema.
+    """
+    import numpy as np
+
+    from repro.core.tree_policy import TreePolicy
+    from repro.data import OBSERVATION_FEATURES
+    from repro.dtree.cart import DecisionTreeClassifier
+    from repro.dtree.node import TreeNode
+    from repro.store import PolicyKey
+
+    rng = np.random.default_rng(seed)
+    n_features = len(_OBSERVATION_RANGES)
+    action_pairs = [(15 + i, 22 + i) for i in range(8)]
+    names: List[str] = []
+    for index in range(count):
+        next_id = iter(range(1 << 20))
+
+        def grow(depth: int) -> TreeNode:
+            if depth == 0 or rng.random() < 0.2:
+                return TreeNode(
+                    node_id=next(next_id),
+                    prediction=int(rng.integers(len(action_pairs))),
+                )
+            feature = int(rng.integers(n_features))
+            low, high = _OBSERVATION_RANGES[feature]
+            node = TreeNode(
+                node_id=next(next_id),
+                feature_index=feature,
+                threshold=float(rng.uniform(low, high)),
+                prediction=0,
+            )
+            node.left = grow(depth - 1)
+            node.right = grow(depth - 1)
+            return node
+
+        depth = int(rng.integers(3, 6))
+        tree = DecisionTreeClassifier(max_depth=depth)
+        tree.n_features = n_features
+        tree.root = grow(depth)
+        tree.classes_ = np.arange(len(action_pairs))
+        policy = TreePolicy(
+            tree, action_pairs=action_pairs, feature_names=list(OBSERVATION_FEATURES)
+        )
+        key = PolicyKey(
+            city="fleet",
+            season="summer",
+            building="office",
+            seed=index,
+            config_hash=f"{index:012x}",
+        )
+        names.append(store.put_policy(key, policy).key.name)
+    return names
+
+
+def _process_memory_kb(pid) -> Tuple[Optional[int], Optional[str]]:
+    """Resident memory of one process in KiB: (value, metric).
+
+    Prefers proportional-set-size (``smaps_rollup`` — shared mmap pages are
+    divided among their mappers, so summing workers never double-counts the
+    arena), falls back to ``VmRSS``, and returns ``(None, None)`` off-Linux
+    so callers can gate memory floors on metric availability.
+    """
+    try:
+        with open(f"/proc/{pid}/smaps_rollup", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1]), "pss"
+    except OSError:
+        pass
+    try:
+        with open(f"/proc/{pid}/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]), "rss"
+    except OSError:
+        pass
+    return None, None
+
+
+def _store_cold_memory_probe(
+    store_root: str,
+    warmup_ids,
+    fleet_ids,
+    observations,
+    cache_size: int,
+    conn,
+) -> None:
+    """Child-process half of the store-cold memory measurement.
+
+    Runs in a fresh process (same lifecycle as a shard worker, so its
+    allocator has no free lists left over from the benchmark's earlier
+    phases): build an arena-backed server, serve the warm-up batch, read the
+    resident baseline, warm the full fleet, read again, report through
+    ``conn``.
+    """
+    import gc
+    import os
+
+    import numpy as np
+
+    from repro.serving import PolicyRequestBatch, PolicyServer
+    from repro.store import PolicyStore
+
+    server = PolicyServer(
+        store=PolicyStore(store_root), cache_size=cache_size, arena=True
+    )
+    server.serve_columnar(
+        PolicyRequestBatch(policy_ids=np.asarray(warmup_ids), observations=observations)
+    )
+    gc.collect()
+    before, metric = _process_memory_kb(os.getpid())
+    server.serve_columnar(
+        PolicyRequestBatch(policy_ids=np.asarray(fleet_ids), observations=observations)
+    )
+    after, _ = _process_memory_kb(os.getpid())
+    server.close()
+    conn.send((before, after, metric))
+    conn.close()
+
+
+def _bench_store_cold(args: argparse.Namespace) -> Dict:
+    """Cold-load cost of the packed arena vs the per-file JSON store.
+
+    Synthesises ``--policies`` small tree policies into a scratch store,
+    packs them into one arena, and measures what the paper's fleet-restart
+    story actually costs: time from a cold process to the first full-fleet
+    action batch (every policy answers once — the JSON path parses and
+    compiles each artifact, the arena path mmaps one file and hands out
+    zero-copy views), per-policy cold TTFA on fresh servers, steady-state
+    warm throughput (the arena must not be slower once everything is hot),
+    resident-memory growth of warming every policy in one fresh process vs
+    ``--shards`` worker processes (the mmap pages are shared, so the fleet's
+    footprint must not scale with the shard count; both sides baseline after
+    a same-size warm-up batch so fixed transport/allocator costs cancel),
+    and supervised kill-recovery (the respawned worker reopens the mapping:
+    zero recompiles, zero lost requests).
+    """
+    import os
+    import tempfile
+    import time
+
+    import numpy as np
+
+    from repro.serving import PolicyRequestBatch, PolicyServer, ShardedPolicyServer
+    from repro.store import PolicyStore
+
+    if args.policies < 2:
+        raise CLIError("--policies must be at least 2")
+    if args.shards < 2:
+        raise CLIError("--target store-cold needs --shards >= 2")
+    sample = min(16, args.policies)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-arena-") as scratch:
+        store = PolicyStore(scratch)
+        start = time.perf_counter()
+        policy_ids = _synthetic_store_policies(store, args.policies, args.seed)
+        generate_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        arena_path = store.pack()
+        pack_seconds = time.perf_counter() - start
+        arena_bytes = arena_path.stat().st_size
+
+        rng = np.random.default_rng(args.seed)
+        dim = len(_OBSERVATION_RANGES)
+        # The first fleet tick after a restart: every policy answers once.
+        assigned = np.array(policy_ids)
+        observations = _synthetic_observations(rng, args.policies, dim)
+        fleet_batch = PolicyRequestBatch(policy_ids=assigned, observations=observations)
+
+        def fleet_cold(arena_flag):
+            """Cold process -> first full-fleet batch; returns the warm server too."""
+            start = time.perf_counter()
+            server = PolicyServer(
+                store=store, cache_size=args.policies + 1, arena=arena_flag
+            )
+            actions = server.serve_columnar(fleet_batch).action_indices
+            return time.perf_counter() - start, actions, server
+
+        json_ttfa, json_actions, json_server = fleet_cold(False)
+        start = time.perf_counter()
+        json_server.serve_columnar(fleet_batch)
+        json_warm_seconds = time.perf_counter() - start
+        json_server.close()
+
+        arena_ttfa, arena_actions, arena_server = fleet_cold(True)
+        start = time.perf_counter()
+        arena_server.serve_columnar(fleet_batch)
+        arena_warm_seconds = time.perf_counter() - start
+        arena_compiles = arena_server.stats.compile_count
+        arena_hits_single = arena_server.stats.arena_hits
+        arena_server.close()
+
+        # Per-policy cold TTFA: a fresh server answers one building's first
+        # request (construction included — that is what "cold" costs).
+        probe_ids = [policy_ids[i] for i in
+                     np.linspace(0, args.policies - 1, sample).astype(int)]
+        per_policy = {}
+        for mode, arena_flag in (("json", False), ("arena", True)):
+            seconds = []
+            for policy_id in probe_ids:
+                row = PolicyRequestBatch(
+                    policy_ids=np.array([policy_id]), observations=observations[:1]
+                )
+                start = time.perf_counter()
+                server = PolicyServer(store=store, cache_size=2, arena=arena_flag)
+                server.serve_columnar(row)
+                seconds.append(time.perf_counter() - start)
+                server.close()
+            per_policy[mode] = float(np.median(seconds))
+
+        # Resident growth of warming the whole fleet, at one fresh process vs
+        # a supervised worker fleet mapping the same arena file.  Both sides
+        # read their baseline in a fresh process (same lifecycle as a shard
+        # worker) *after* a full-size warm-up batch routed over a handful of
+        # covering policies: that parks construction, arena metadata, ring
+        # residency and first-serve allocator growth — fixed costs that exist
+        # for the JSON fleet too — in the baseline, so the deltas measure
+        # what warming the remaining ~``--policies`` handles costs, which is
+        # the store's (shared-pages) contribution.
+        import multiprocessing
+
+        from repro.serving import shard_for_policy
+
+        cover: Dict[int, str] = {}
+        for policy_id in policy_ids:
+            cover.setdefault(shard_for_policy(policy_id, args.shards), policy_id)
+            if len(cover) == args.shards:
+                break
+
+        def warmup_ids(assign) -> List[str]:
+            return [assign(pid) for pid in policy_ids]
+
+        memory_metric: Optional[str] = None
+        memory_delta_1: Optional[int] = None
+        mp = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        parent_end, child_end = mp.Pipe(duplex=False)
+        probe = mp.Process(
+            target=_store_cold_memory_probe,
+            args=(
+                scratch,
+                warmup_ids(lambda pid: policy_ids[0]),
+                list(policy_ids),
+                observations,
+                args.policies + 1,
+                child_end,
+            ),
+        )
+        probe.start()
+        child_end.close()
+        if parent_end.poll(300):
+            before, after, memory_metric = parent_end.recv()
+            if before is not None and after is not None:
+                memory_delta_1 = after - before
+        parent_end.close()
+        probe.join()
+
+        memory_delta_n: Optional[int] = None
+        with ShardedPolicyServer(
+            store=store, num_shards=args.shards, cache_size=8, arena=True
+        ) as fleet:
+            # Same-size warm-up, one covering policy per shard: every worker
+            # serves its full row share once before the baseline read.
+            fleet.serve_columnar(
+                PolicyRequestBatch(
+                    policy_ids=np.array(
+                        warmup_ids(
+                            lambda pid: cover.get(
+                                shard_for_policy(pid, args.shards), pid
+                            )
+                        )
+                    ),
+                    observations=observations,
+                )
+            )
+            pids = [
+                fleet.supervisor.state(index).process.pid
+                for index in range(args.shards)
+            ]
+            baseline = [_process_memory_kb(pid)[0] for pid in pids]
+            fleet.serve_columnar(fleet_batch)
+            warmed = [_process_memory_kb(pid)[0] for pid in pids]
+            if all(b is not None for b in baseline) and all(w is not None for w in warmed):
+                memory_delta_n = sum(w - b for b, w in zip(baseline, warmed))
+            sharded_actions = fleet.serve_columnar(fleet_batch).action_indices
+
+            # Supervised recovery: the respawned worker reopens the mapping —
+            # no JSON parse, no recompile, no lost requests.
+            fleet.supervisor.state(0).process.kill()
+            recovered = fleet.serve_columnar(fleet_batch).action_indices
+            stats = fleet.stats()
+
+    growth = (
+        memory_delta_n / memory_delta_1
+        if memory_delta_1 and memory_delta_n is not None
+        else None
+    )
+    return {
+        "benchmark": "store-cold",
+        "policies": args.policies,
+        "shards": args.shards,
+        "cpu_count": os.cpu_count(),
+        "arena_bytes": arena_bytes,
+        "generate_seconds": generate_seconds,
+        "pack_seconds": pack_seconds,
+        "cold_ttfa_json_seconds": json_ttfa,
+        "cold_ttfa_arena_seconds": arena_ttfa,
+        "cold_ttfa_speedup": json_ttfa / max(arena_ttfa, 1e-12),
+        "per_policy_cold_json_seconds": per_policy["json"],
+        "per_policy_cold_arena_seconds": per_policy["arena"],
+        "warm_fleet_json_seconds": json_warm_seconds,
+        "warm_fleet_arena_seconds": arena_warm_seconds,
+        "actions_identical": bool(
+            np.array_equal(json_actions, arena_actions)
+            and np.array_equal(json_actions, sharded_actions)
+            and np.array_equal(json_actions, recovered)
+        ),
+        "arena_compile_count": arena_compiles,
+        "arena_hits": arena_hits_single,
+        "memory_metric": memory_metric,
+        "memory_delta_1_shard_kb": memory_delta_1,
+        "memory_delta_n_shards_kb": memory_delta_n,
+        "memory_growth_ratio": growth,
+        "restart": {
+            "compile_count": stats["compile_count"],
+            "arena_hits": stats["arena_hits"],
+            "lost_requests": stats["fleet"]["lost_requests"],
+            "restarts": stats["supervisor"]["restarts"],
+        },
+    }
+
+
 def _bench_fleet(args: argparse.Namespace) -> Dict:
     """Closed-loop fleet benchmark: tick throughput plus the rollout floors.
 
@@ -1284,6 +1635,7 @@ _BENCH_TARGETS = {
     "serve-columnar": _bench_serve_columnar,
     "serve-sharded": _bench_serve_sharded,
     "serve-faults": _bench_serve_faults,
+    "store-cold": _bench_store_cold,
     "fleet": _bench_fleet,
 }
 
@@ -1400,6 +1752,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete all but the N newest matching artifacts",
     )
     policies.add_argument("--verify", action="store_true", help="integrity-check every artifact")
+    policies.add_argument(
+        "--pack",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help=(
+            "pack the matching policies into one mmap'able arena "
+            "(default target: <store>/policies.arena)"
+        ),
+    )
     policies.set_defaults(func=cmd_policies)
 
     serve = sub.add_parser(
@@ -1449,6 +1812,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--decision-data", type=int, default=None, help="decision-dataset size for auto-extraction"
+    )
+    serve.add_argument(
+        "--arena",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help=(
+            "serve from the packed mmap arena: bare flag requires "
+            "<store>/policies.arena, PATH opens that file (default: "
+            "auto-detect when present)"
+        ),
     )
     serve.add_argument(
         "--stats-json",
@@ -1569,13 +1944,15 @@ def build_parser() -> argparse.ArgumentParser:
             "serve-columnar",
             "serve-sharded",
             "serve-faults",
+            "store-cold",
             "fleet",
         ],
         help=(
             "what to benchmark: rollouts, decision-dataset distillation, policy "
             "serving, the columnar vs legacy serving front door, the "
             "multi-process sharded server vs single-process columnar, "
-            "fleet recovery under injected kill/hang faults, or the "
+            "fleet recovery under injected kill/hang faults, the packed "
+            "arena vs per-file JSON cold load, or the "
             "closed-loop fleet (throughput + canary/rollback floors)"
         ),
     )
@@ -1604,6 +1981,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--rows", type=int, default=20000, help="request batch rows (serve target)"
+    )
+    bench.add_argument(
+        "--policies",
+        type=int,
+        default=10000,
+        help="synthetic stored policies (store-cold target)",
     )
     bench.add_argument(
         "--buildings", type=int, default=512, help="simulated buildings (fleet target)"

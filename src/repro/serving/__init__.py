@@ -12,8 +12,12 @@ across N worker processes over the zero-copy shared-memory transport
 (:mod:`repro.data.shm`), with a self-healing ``ShardSupervisor``
 (:mod:`repro.serving.supervision`) restarting dead or hung workers behind
 retry/deadline/degraded-fallback semantics, exercised by the deterministic
-fault-injection harness in :mod:`repro.serving.faults`.  Driven by ``repro
-serve`` (``--shards N`` for the sharded fleet).
+fault-injection harness in :mod:`repro.serving.faults`.  Resolution is
+arena-first when the store carries a packed arena
+(:mod:`repro.store.arena`): policies are answered by zero-copy mmap views
+shared across every shard, with restart warm-up reduced to reopening the
+mapping.  Driven by ``repro serve`` (``--shards N`` for the sharded fleet,
+``--arena`` to require the packed path).
 """
 
 from repro.data import PolicyRequestBatch, PolicyResponseBatch

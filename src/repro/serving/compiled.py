@@ -31,6 +31,31 @@ from repro.core.tree_policy import TreePolicy
 #: Sentinel feature index marking a leaf in the flattened arrays.
 LEAF = -1
 
+#: Declared serving dtypes of the flattened arrays.  ``from_views`` requires
+#: them exactly; ``__init__`` converts anything else (with a copy only when
+#: the input's dtype actually differs).
+ARRAY_DTYPES: "dict[str, np.dtype[Any]]" = {
+    "feature": np.dtype(np.int32),
+    "threshold": np.dtype(np.float64),
+    "left": np.dtype(np.int32),
+    "right": np.dtype(np.int32),
+    "leaf_action": np.dtype(np.int64),
+    "action_pairs": np.dtype(np.int64),
+}
+
+
+def _as_typed(values: Any, dtype: "np.dtype[Any]") -> NDArray[Any]:
+    """Coerce to an ndarray of ``dtype`` without copying matching inputs.
+
+    An ndarray that already carries the declared dtype is returned *as the
+    same object* — no allocation, and flags like ``writeable=False`` on
+    arena-backed mmap views survive.  Anything else (lists, mismatched
+    dtypes) goes through ``np.asarray`` and may copy.
+    """
+    if isinstance(values, np.ndarray) and values.dtype == dtype:
+        return values
+    return np.asarray(values, dtype=dtype)
+
 
 def _descend(
     feature: NDArray[Any],
@@ -78,12 +103,12 @@ class CompiledTreePolicy:
         feature_names: Optional[Sequence[str]] = None,
         city: Optional[str] = None,
     ):
-        self.feature = np.asarray(feature, dtype=np.int32)
-        self.threshold = np.asarray(threshold, dtype=np.float64)
-        self.left = np.asarray(left, dtype=np.int32)
-        self.right = np.asarray(right, dtype=np.int32)
-        self.leaf_action = np.asarray(leaf_action, dtype=np.int64)
-        self.action_pairs = np.asarray(action_pairs, dtype=np.int64)
+        self.feature = _as_typed(feature, ARRAY_DTYPES["feature"])
+        self.threshold = _as_typed(threshold, ARRAY_DTYPES["threshold"])
+        self.left = _as_typed(left, ARRAY_DTYPES["left"])
+        self.right = _as_typed(right, ARRAY_DTYPES["right"])
+        self.leaf_action = _as_typed(leaf_action, ARRAY_DTYPES["leaf_action"])
+        self.action_pairs = _as_typed(action_pairs, ARRAY_DTYPES["action_pairs"])
         self.n_features = int(n_features)
         self.depth = int(depth)
         self.feature_names = list(feature_names) if feature_names is not None else None
@@ -132,6 +157,66 @@ class CompiledTreePolicy:
             feature_names=policy.feature_names,
             city=policy.city,
         )
+
+    @classmethod
+    def from_views(
+        cls,
+        feature: NDArray[Any],
+        threshold: NDArray[Any],
+        left: NDArray[Any],
+        right: NDArray[Any],
+        leaf_action: NDArray[Any],
+        action_pairs: NDArray[Any],
+        n_features: int,
+        depth: int,
+        feature_names: Optional[Sequence[str]] = None,
+        city: Optional[str] = None,
+    ) -> "CompiledTreePolicy":
+        """Wrap existing typed array views with zero copies (arena serving).
+
+        Every array must already be an ndarray of its declared serving dtype
+        (:data:`ARRAY_DTYPES`) — the constructor then adopts the objects
+        as-is, so an arena-backed mmap slice stays an mmap slice.  All six
+        arrays on the returned policy are ``writeable=False``: mmap views
+        arrive read-only already, and in-memory arrays are frozen through a
+        zero-copy view, so no serving-path bug can ever scribble on pages
+        shared across shard processes.
+        """
+        arrays = {
+            "feature": feature,
+            "threshold": threshold,
+            "left": left,
+            "right": right,
+            "leaf_action": leaf_action,
+            "action_pairs": action_pairs,
+        }
+        for name, array in arrays.items():
+            expected = ARRAY_DTYPES[name]
+            if not isinstance(array, np.ndarray) or array.dtype != expected:
+                got = getattr(array, "dtype", type(array).__name__)
+                raise ValueError(
+                    f"from_views requires a {expected} ndarray for {name!r}, "
+                    f"got {got} (use the regular constructor to convert)"
+                )
+        policy = cls(
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            leaf_action=leaf_action,
+            action_pairs=action_pairs,
+            n_features=n_features,
+            depth=depth,
+            feature_names=feature_names,
+            city=city,
+        )
+        for name in arrays:
+            array = getattr(policy, name)
+            if array.flags.writeable:
+                frozen = array.view()
+                frozen.flags.writeable = False
+                setattr(policy, name, frozen)
+        return policy
 
     # -------------------------------------------------------------- serving
     @property

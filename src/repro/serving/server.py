@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.tree_policy import TreePolicy
 from repro.data import PolicyRequestBatch, PolicyResponseBatch
 from repro.serving.compiled import CompiledTreePolicy
-from repro.store import PolicyStore, resolve_store
+from repro.store import ArenaLike, PolicyArena, PolicyStore, resolve_arena, resolve_store
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,9 @@ class ServerStats:
     cache_hits: int = 0
     cache_misses: int = 0
     evictions: int = 0
+    arena_hits: int = 0
+    arena_policies: int = 0
+    arena_bytes_mapped: int = 0
     per_policy_requests: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -77,6 +80,9 @@ class ServerStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "evictions": self.evictions,
+            "arena_hits": self.arena_hits,
+            "arena_policies": self.arena_policies,
+            "arena_bytes_mapped": self.arena_bytes_mapped,
             "unique_policies": len(self.per_policy_requests),
             "per_policy_requests": dict(self.per_policy_requests),
         }
@@ -87,12 +93,30 @@ class UnknownPolicyError(KeyError):
 
 
 class PolicyServer:
-    """Batched, store-backed serving of compiled tree policies."""
+    """Batched, store-backed serving of compiled tree policies.
+
+    Policy resolution is **arena-first**: when the store carries a packed
+    arena (:mod:`repro.store.arena`) — auto-detected, or forced/pointed at
+    via the ``arena`` argument — a requested policy is answered by a
+    zero-copy mmap handle in O(1), no JSON parse and no compile.  The LRU
+    only exists for policies *not* in the arena (the JSON path); arena
+    handles are thin views into the shared mapping, so caching them is free
+    and evicting them would save nothing — eviction of arena-backed entries
+    is a structural no-op.
+
+    ``arena`` accepts anything :func:`repro.store.resolve_arena` does:
+    ``None`` (auto-detect ``<store>/policies.arena``), ``False`` (disable),
+    ``True`` (require), a path, or an open :class:`~repro.store.PolicyArena`
+    (shared; the caller keeps ownership).  A corrupt or truncated arena
+    never takes the server down — it is skipped with the reason recorded in
+    :attr:`arena_error` and serving falls back to the JSON store path.
+    """
 
     def __init__(
         self,
         store: Union[PolicyStore, str, None] = None,
         cache_size: int = 8,
+        arena: ArenaLike = None,
     ):
         if cache_size < 1:
             raise ValueError("cache_size must be at least 1")
@@ -101,6 +125,18 @@ class PolicyServer:
         self._cache: "OrderedDict[str, CompiledTreePolicy]" = OrderedDict()
         self._registered: Dict[str, CompiledTreePolicy] = {}
         self.stats = ServerStats()
+        #: The server closes an arena it opened itself; a shared instance
+        #: passed in by the caller is left open.
+        self._owns_arena = not isinstance(arena, PolicyArena)
+        self.arena, self.arena_error = resolve_arena(arena, self.store)
+        if self.arena is not None:
+            self.stats.arena_policies = self.arena.policy_count
+            self.stats.arena_bytes_mapped = self.arena.nbytes_mapped
+
+    def close(self) -> None:
+        """Release the arena mapping if this server opened it (idempotent)."""
+        if self.arena is not None and self._owns_arena:
+            self.arena.close()
 
     # ------------------------------------------------------------ resolution
     def register(
@@ -116,17 +152,38 @@ class PolicyServer:
         return compiled
 
     def policy_ids(self) -> List[str]:
-        """Every servable policy id: registered names plus store entries."""
+        """Every servable policy id: registered, arena-packed, store entries."""
         ids = list(self._registered)
+        seen = set(ids)
+        if self.arena is not None:
+            fresh = [pid for pid in self.arena.policy_ids() if pid not in seen]
+            ids.extend(fresh)
+            seen.update(fresh)
         if self.store is not None:
-            ids.extend(entry.key.name for entry in self.store.entries())
+            ids.extend(
+                entry.key.name
+                for entry in self.store.entries()
+                if entry.key.name not in seen
+            )
         return ids
 
     def resolve(self, policy_id: str) -> CompiledTreePolicy:
-        """The compiled policy for an id — registered, cached, or store-loaded."""
+        """The compiled policy for an id — registered, arena, cached, or loaded.
+
+        Resolution order: pinned registrations, then the packed arena (O(1)
+        zero-copy mmap handle, counted in ``arena_hits``), then the LRU of
+        JSON-compiled policies, then a store load + compile.  Arena handles
+        never enter the LRU, so they can never be evicted — restart-warm and
+        eviction-proof by construction.
+        """
         registered = self._registered.get(policy_id)
         if registered is not None:
             return registered
+        if self.arena is not None:
+            handle = self.arena.get(policy_id)
+            if handle is not None:
+                self.stats.arena_hits += 1
+                return handle
         cached = self._cache.get(policy_id)
         if cached is not None:
             self._cache.move_to_end(policy_id)

@@ -69,7 +69,7 @@ from repro.serving.supervision import (
     ShardedServingError,
     ShardSupervisor,
 )
-from repro.store import PolicyStore, resolve_store
+from repro.store import ArenaLike, PolicyArena, PolicyStore, resolve_arena, resolve_store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.tree_policy import TreePolicy
@@ -245,6 +245,13 @@ class ShardedPolicyServer:
         Seconds between background heartbeat sweeps (dead workers restarted
         proactively, idle workers pinged); ``None`` disables the monitor —
         the serve path still heals on contact.
+    arena:
+        Anything :func:`repro.store.resolve_arena` accepts.  The parent
+        resolves it once (validating up front), then every worker mmaps the
+        *same* arena file — the OS shares the compiled pages across shard
+        processes, and a restarted worker reopens the arena instead of
+        replaying JSON recompiles.  A corrupt arena falls back to the JSON
+        path fleet-wide (reason in :attr:`arena_error`).
     """
 
     def __init__(
@@ -260,6 +267,7 @@ class ShardedPolicyServer:
         request_deadline: Optional[float] = None,
         degraded: str = "fail",
         heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT_INTERVAL,
+        arena: ArenaLike = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -287,8 +295,22 @@ class ShardedPolicyServer:
         self._closed = False
         if self.num_shards == 1:
             # In-process fallback: identical API, zero process/ring tax.
-            self._local = PolicyServer(store=self._store, cache_size=cache_size)
+            self._local = PolicyServer(
+                store=self._store, cache_size=cache_size, arena=arena
+            )
+            self._arena = self._local.arena
+            self.arena_error = self._local.arena_error
+            self._owns_arena = False  # the local server owns (and closes) it
             return
+        # Resolve the arena once parent-side: configuration errors (e.g.
+        # arena=True with no packed file) surface here, and the resolved
+        # *path* is what workers receive — each worker mmaps the same file,
+        # so the compiled pages are shared across every shard process.
+        self._owns_arena = not isinstance(arena, PolicyArena)
+        self._arena, self.arena_error = resolve_arena(arena, self._store)
+        arena_spec: Union[str, bool] = (
+            str(self._arena.path) if self._arena is not None else False
+        )
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -299,6 +321,7 @@ class ShardedPolicyServer:
             cache_size=self.cache_size,
             ring_capacity=self.ring_capacity,
             heartbeat_interval=heartbeat_interval,
+            arena_spec=arena_spec,
         )
 
     # ------------------------------------------------------------- lifecycle
@@ -316,6 +339,11 @@ class ShardedPolicyServer:
     def fleet_stats(self) -> FleetStats:
         """Parent-side fault-handling counters (see :class:`FleetStats`)."""
         return self._fleet_stats
+
+    @property
+    def arena(self) -> Optional[PolicyArena]:
+        """The resolved packed arena (parent-side handle), or ``None``."""
+        return self._arena
 
     def start(self) -> "ShardedPolicyServer":
         """Spawn the worker fleet (no-op at ``num_shards=1`` or if running).
@@ -354,6 +382,12 @@ class ShardedPolicyServer:
             return
         self._closed = True
         self._dispose_supervisor()
+        if self._local is not None:
+            self._local.close()
+        if self._fallback_server is not None:
+            self._fallback_server.close()
+        if self._arena is not None and self._owns_arena:
+            self._arena.close()
 
     def _dispose_supervisor(self) -> None:
         if self._supervisor is not None:
@@ -427,8 +461,15 @@ class ShardedPolicyServer:
                 "cache_hits",
                 "cache_misses",
                 "evictions",
+                "arena_hits",
             )
         }
+        # Every shard maps the *same* arena file (shared pages), so policy
+        # count and mapped bytes aggregate as max, not sum.
+        for key in ("arena_policies", "arena_bytes_mapped"):
+            totals[key] = max(
+                (int(stats.get(key, 0)) for stats in per_shard.values()), default=0
+            )
         merged: Dict[str, int] = {}
         for stats in per_shard.values():
             for policy_id, count in stats["per_policy_requests"].items():
@@ -685,6 +726,7 @@ class ShardedPolicyServer:
             server = PolicyServer(
                 store=self._store if self._store is not None else False,
                 cache_size=self.cache_size,
+                arena=self._arena if self._arena is not None else False,
             )
             for _, policy_id, payload in self._supervisor.registrations():
                 server.register(policy_id, TreePolicy.from_dict(payload))

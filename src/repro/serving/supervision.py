@@ -49,7 +49,7 @@ from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as connection_wait
 from multiprocessing.context import BaseContext
 from multiprocessing.process import BaseProcess
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.data import PolicyRequestBatch
 from repro.data.shm import SharedMemoryColumnarBuffer
@@ -90,12 +90,18 @@ def shard_worker_main(
     shard_index: int,
     store_root: Optional[str],
     cache_size: int,
+    arena_spec: Union[str, bool],
     request_ring_name: str,
     response_ring_name: str,
     generation: int,
     connection: Connection,
 ) -> None:
     """Worker entry point: one ``PolicyServer`` shard behind two shm rings.
+
+    ``arena_spec`` is either the path of the packed arena every shard mmaps
+    (the OS shares the compiled pages across the fleet, and a respawned
+    worker warms up by *reopening the mapping* — no JSON parse, no
+    recompile) or ``False`` for the plain JSON-store path.
 
     Control traffic runs over one duplex ``Pipe`` connection, polled with a
     bounded timeout (never a bare blocking ``recv``).  Every request carries
@@ -135,6 +141,7 @@ def shard_worker_main(
     server = PolicyServer(
         store=store_root if store_root is not None else False,
         cache_size=cache_size,
+        arena=arena_spec,
     )
     faults = FaultState()
     try:
@@ -274,6 +281,10 @@ class ShardSupervisor:
         serve path still heals on contact).
     heartbeat_timeout:
         Seconds an active ping may take before a worker counts as hung.
+    arena_spec:
+        Packed-arena path every worker mmaps on (re)start, or ``False`` for
+        the JSON-store path.  Restart recovery reopens this mapping instead
+        of replaying recompiles.
     """
 
     def __init__(
@@ -285,6 +296,7 @@ class ShardSupervisor:
         ring_capacity: int,
         heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT_INTERVAL,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        arena_spec: Union[str, bool] = False,
     ):
         self.num_shards = int(num_shards)
         self.heartbeat_interval = heartbeat_interval
@@ -295,6 +307,7 @@ class ShardSupervisor:
         self._process_factory: Callable[..., BaseProcess] = context.Process
         self._store_root = store_root
         self._cache_size = int(cache_size)
+        self._arena_spec = arena_spec
         self._ring_capacity = int(ring_capacity)
         self._shards: Dict[int, ShardState] = {}
         self._journal: Dict[Tuple[int, str], Dict[str, Any]] = {}
@@ -420,6 +433,7 @@ class ShardSupervisor:
                     index,
                     self._store_root,
                     self._cache_size,
+                    self._arena_spec,
                     request_ring.name,
                     response_ring.name,
                     generation,

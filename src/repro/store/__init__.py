@@ -1,15 +1,28 @@
 """Persistent, content-addressed storage of verified tree policies.
 
-See :mod:`repro.store.store` for the artifact format and layout.  The usual
-entry points::
+See :mod:`repro.store.store` for the artifact format and layout, and
+:mod:`repro.store.arena` for the packed serving-side mirror (many compiled
+trees in one mmap'able arena).  The usual entry points::
 
     from repro.store import PolicyStore
 
     store = PolicyStore()                      # default root (or $REPRO_POLICY_STORE)
     result = VerifiedPolicyPipeline(cfg, store=store).run()   # writes through
     policy = store.get_policy(cfg)             # later: pure cache hit
+    store.pack()                               # emit policies.arena for serving
 """
 
+from repro.store.arena import (
+    ARENA_FILENAME,
+    ARENA_MAGIC,
+    ARENA_VERSION,
+    ArenaIntegrityError,
+    ArenaLike,
+    ArenaSection,
+    PolicyArena,
+    resolve_arena,
+    write_arena,
+)
 from repro.store.store import (
     ARTIFACT_KIND,
     STORE_ENV_VAR,
@@ -25,9 +38,16 @@ from repro.store.store import (
 )
 
 __all__ = [
+    "ARENA_FILENAME",
+    "ARENA_MAGIC",
+    "ARENA_VERSION",
     "ARTIFACT_KIND",
     "STORE_ENV_VAR",
     "STORE_SCHEMA_VERSION",
+    "ArenaIntegrityError",
+    "ArenaLike",
+    "ArenaSection",
+    "PolicyArena",
     "PolicyKey",
     "PolicyStore",
     "StoreEntry",
@@ -35,5 +55,7 @@ __all__ = [
     "StoreIntegrityError",
     "building_label",
     "default_store_root",
+    "resolve_arena",
     "resolve_store",
+    "write_arena",
 ]

@@ -225,6 +225,13 @@ class PolicyStore:
     def path_for(self, key: PolicyKey) -> Path:
         return self.root / key.relative_path()
 
+    @property
+    def arena_path(self) -> Path:
+        """Where :meth:`pack` writes the packed arena (and servers look for it)."""
+        from repro.store.arena import ARENA_FILENAME
+
+        return self.root / ARENA_FILENAME
+
     @staticmethod
     def _as_key(key_or_config) -> PolicyKey:
         if isinstance(key_or_config, PolicyKey):
@@ -273,6 +280,84 @@ class PolicyStore:
         }
         path = atomic_save_json(artifact, self.path_for(key))
         return self._entry_from_artifact(artifact, path)
+
+    def put_policy(
+        self,
+        key: PolicyKey,
+        policy: "TreePolicy",
+        fidelity: float = 1.0,
+        verification: Optional[VerificationSummary] = None,
+        pipeline_config: Optional[Dict[str, Any]] = None,
+        model_rmse: float = 0.0,
+        model_mae: float = 0.0,
+    ) -> StoreEntry:
+        """Persist a bare policy under an explicit key (no pipeline run).
+
+        The lower-level sibling of :meth:`put` for policies that did not come
+        out of a local extract-verify run — synthetic fleets, imports,
+        benchmark corpora.  The artifact carries the same schema-versioned
+        envelope and integrity hashes; verification metadata is whatever the
+        caller supplies (``None`` means unverified).
+        """
+        from repro import __version__
+
+        policy_payload = to_jsonable(policy.to_dict())
+        content = {
+            "pipeline_config": to_jsonable(pipeline_config or {}),
+            "policy": policy_payload,
+            "verification": to_jsonable(verification),
+            "fidelity": float(fidelity),
+            "model_rmse": float(model_rmse),
+            "model_mae": float(model_mae),
+        }
+        artifact = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "kind": ARTIFACT_KIND,
+            "key": key.to_dict(),
+            "content": content,
+            "provenance": {
+                "created_at": datetime.now(timezone.utc).isoformat(timespec="microseconds"),
+                "stage_seconds": {},
+                "repro_version": __version__,
+            },
+            "integrity": {
+                "algorithm": "sha256",
+                "content_sha256": content_hash(content),
+                "policy_sha256": content_hash(policy_payload),
+            },
+        }
+        path = atomic_save_json(artifact, self.path_for(key))
+        return self._entry_from_artifact(artifact, path)
+
+    # ----------------------------------------------------------------- pack
+    def pack(
+        self,
+        path: Union[str, Path, None] = None,
+        city: Optional[str] = None,
+        season: Optional[str] = None,
+    ) -> Path:
+        """Pack every stored policy's compiled arrays into one mmap'able arena.
+
+        Loads (and integrity-checks) each matching artifact, compiles its
+        tree once, and writes the concatenated arrays atomically to ``path``
+        (default :attr:`arena_path`).  Servers opened against this store pick
+        the arena up automatically — cold loads become O(1) mmap slices and
+        shard processes share the compiled pages.  Returns the arena path.
+        """
+        from repro.serving.compiled import CompiledTreePolicy
+        from repro.store.arena import write_arena
+
+        entries = self.entries(city=city, season=season)
+        if not entries:
+            raise ValueError(f"no stored policies under {self.root} to pack")
+        packed = []
+        # entries() sorts newest first; pack oldest-first so arena order is
+        # stable as new policies append.
+        for entry in reversed(entries):
+            stored = self._load(entry.path)
+            packed.append((entry.key.name, CompiledTreePolicy.from_policy(stored.policy)))
+        target = Path(path) if path is not None else self.arena_path
+        return write_arena(target, packed)
 
     # ------------------------------------------------------------------ get
     def get(self, key_or_config) -> Optional[StoredPolicy]:
@@ -353,7 +438,12 @@ class PolicyStore:
         return [entry.path for entry in doomed]
 
     def verify(self) -> Dict[str, bool]:
-        """Integrity-check every artifact; maps artifact name -> ok."""
+        """Integrity-check every artifact; maps artifact name -> ok.
+
+        Covers the JSON artifacts (schema + content hashes) *and* any packed
+        arena in the store root (header magic/version, offset-index bounds,
+        per-section CRC-32), reported under ``arena:<filename>``.
+        """
         report: Dict[str, bool] = {}
         for entry in self.entries():
             try:
@@ -364,6 +454,16 @@ class PolicyStore:
                 # bump) counts as corrupt; one bad artifact must not stop the
                 # sweep.
                 report[entry.key.name] = False
+        from repro.store.arena import ArenaIntegrityError, PolicyArena
+
+        arena_paths = sorted(self.root.glob("*.arena")) if self.root.exists() else []
+        for arena_path in arena_paths:
+            name = f"arena:{arena_path.name}"
+            try:
+                PolicyArena(arena_path, verify=True).close()
+                report[name] = True
+            except (ArenaIntegrityError, OSError):
+                report[name] = False
         return report
 
     # ------------------------------------------------------------- internals

@@ -532,6 +532,51 @@ class TestFleetColumnar:
         assert result.suppressed_count == 1
 
 
+# ----------------------------------------------------------------- REP008
+class TestArenaCopy:
+    def test_flags_copy_and_tolist_on_compiled_array_receivers(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/bad.py": """
+                def scratch(compiled):
+                    a = compiled.feature.copy()
+                    b = compiled.action_pairs.tolist()
+                    c = self_arena_view.copy()
+                    return a, b, c
+            """,
+        })
+        result = lint(tmp_path, only=("REP008",))
+        assert rules_of(result) == ["REP008", "REP008", "REP008"]
+
+    def test_non_arena_receivers_pass(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/good.py": """
+                def descend(nodes, roots):
+                    remaining = nodes.copy()
+                    pinned = roots.copy()
+                    return remaining, pinned
+            """,
+        })
+        assert lint(tmp_path, only=("REP008",)).findings == []
+
+    def test_scope_excludes_non_serving_modules(self, tmp_path):
+        write_tree(tmp_path, {
+            "experiments/tooling.py": """
+                def snapshot(compiled):
+                    return compiled.threshold.copy()
+            """,
+        })
+        assert lint(tmp_path, only=("REP008",)).findings == []
+
+    def test_unnameable_receivers_are_not_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/dynamic.py": """
+                def rows(batch, resolve):
+                    return batch[0].copy(), resolve("x").tolist()
+            """,
+        })
+        assert lint(tmp_path, only=("REP008",)).findings == []
+
+
 # ------------------------------------------------------------ suppressions
 class TestSuppressions:
     def test_trailing_directive_silences_only_its_rule(self, tmp_path):
