@@ -31,6 +31,8 @@ from repro.agents.registry import (
 from repro.agents.base import BaseAgent, RandomAgent, ConstantAgent
 from repro.agents.rule_based import RuleBasedAgent
 from repro.agents.hysteresis import HysteresisAgent
+from repro.agents.pid import PIDAgent
+from repro.agents.ema import EMAAgent
 from repro.agents.random_shooting import (
     BatchPlanResult,
     OptimizationResult,
@@ -53,6 +55,8 @@ __all__ = [
     "ConstantAgent",
     "RuleBasedAgent",
     "HysteresisAgent",
+    "PIDAgent",
+    "EMAAgent",
     "RandomShootingOptimizer",
     "OptimizationResult",
     "BatchPlanResult",

@@ -1,0 +1,198 @@
+"""Classical EMA (smoothed-threshold) baseline controller.
+
+An exponential moving average of the zone temperature drives a simple
+threshold law: when the smoothed signal sinks toward the bottom of the
+comfort band the controller requests heat, when it rises toward the top it
+requests cooling, otherwise it holds the plant off.  The filter is the whole
+trick — raw zone readings chatter (and, under the disturbance layer, carry
+sensor noise), while the EMA reacts to the trend, trading response latency
+for actuation stability.  The filter warm-up seeds the average with the
+first sample instead of zero, so the controller is sane from step one.
+
+Patterned on hass-ufh-controller's ``core/ema.py`` (PAPERS.md related work)
+and registered as a baseline agent for the robustness bench, where its
+noise immunity contrasts with the unfiltered hysteresis thermostat.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.agents.base import BaseAgent
+from repro.agents.registry import register_agent
+from repro.data import ActionBatch, ObservationBatch
+from repro.env.hvac_env import HVACEnvironment
+from repro.utils.config import ComfortConfig
+from repro.utils.rng import RNGLike
+
+
+@register_agent(
+    "ema",
+    aliases=("smoothed",),
+    summary="EMA-filtered threshold controller (noise-immune classical baseline)",
+)
+class EMAAgent(BaseAgent):
+    """Threshold controller on an exponentially smoothed zone temperature."""
+
+    name = "ema"
+
+    def __init__(
+        self,
+        comfort: Optional[ComfortConfig] = None,
+        alpha: float = 0.3,
+        margin: float = 0.25,
+    ):
+        self.comfort = comfort or ComfortConfig.winter()
+        self.alpha = float(alpha)
+        self.margin = float(margin)
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.margin < 0 or 2 * self.margin >= self.comfort.width:
+            raise ValueError(
+                f"margin {self.margin} must be non-negative and fit inside the "
+                f"comfort band (width {self.comfort.width})"
+            )
+        self._ema: Optional[float] = None
+        # (env-identity key, per-step cached arrays) for the batch fast path.
+        self._batch_cache = None
+
+    @classmethod
+    def from_config(
+        cls,
+        environment: Optional[HVACEnvironment] = None,
+        seed: RNGLike = None,
+        season: Optional[str] = None,
+        **kwargs,
+    ) -> "EMAAgent":
+        """Config hook: default the comfort band to the environment's reward config."""
+        if "comfort" not in kwargs:
+            if season is not None:
+                kwargs["comfort"] = ComfortConfig.for_season(season)
+            elif environment is not None:
+                kwargs["comfort"] = environment.config.reward.comfort
+        return cls(**kwargs)
+
+    def reset(self) -> None:
+        self._ema = None
+
+    @property
+    def heat_below(self) -> float:
+        """Smoothed temperature below which heat is requested."""
+        return self.comfort.lower + self.margin
+
+    @property
+    def cool_above(self) -> float:
+        """Smoothed temperature above which cooling is requested."""
+        return self.comfort.upper - self.margin
+
+    def _advance_filter(self, zone: float) -> float:
+        """One EMA update; warm-up seeds the filter with the first sample."""
+        if self._ema is None:
+            self._ema = zone
+        else:
+            self._ema = self._ema + self.alpha * (zone - self._ema)
+        return self._ema
+
+    def select_action(
+        self, observation: np.ndarray, environment: HVACEnvironment, step: int
+    ) -> int:
+        zone = float(np.asarray(observation, dtype=float).reshape(-1)[0])
+        # The filter tracks through unoccupied stretches too — it models the
+        # zone, not the schedule — only the actuation is gated on occupancy.
+        smoothed = self._advance_filter(zone)
+        actions = environment.config.actions
+        off_heating, off_cooling = actions.off_setpoints()
+        if not environment.occupied_at(step):
+            heating, cooling = actions.clip(off_heating, off_cooling)
+        elif smoothed < self.heat_below:
+            heating, cooling = actions.clip(self.comfort.midpoint, off_cooling)
+        elif smoothed > self.cool_above:
+            heating, cooling = actions.clip(off_heating, self.comfort.midpoint)
+        else:
+            heating, cooling = actions.clip(off_heating, off_cooling)
+        return environment.action_space.to_index(heating, cooling)
+
+    # ------------------------------------------------------- batched selection
+    @classmethod
+    def for_environments(
+        cls, environments: Sequence[HVACEnvironment], **kwargs
+    ) -> List["EMAAgent"]:
+        """One smoothed controller per environment."""
+        return [cls.from_config(env, **kwargs) for env in environments]
+
+    @classmethod
+    def select_actions_batch(
+        cls,
+        agents: Sequence["EMAAgent"],
+        observations: Union[ObservationBatch, np.ndarray],
+        environments: Sequence[HVACEnvironment],
+        step: int,
+    ) -> ActionBatch:
+        """Vectorised filter update + threshold over the whole batch.
+
+        Thresholds and the three per-mode action indices are compiled once
+        per (agents, environments) pairing; each tick is a fused ``np.where``
+        update of the filter state plus a nested ``np.where`` action select —
+        element-wise identical to :meth:`select_action` (asserted in the test
+        suite), including warm-up on the first observed sample.
+        """
+        lead = agents[0]
+        key = tuple(id(a) for a in agents) + tuple(id(e) for e in environments)
+        cache = getattr(lead, "_batch_cache", None)
+        if cache is None or cache[0] != key:
+            count = len(agents)
+            steps = min(env.num_steps for env in environments)
+            occupied = np.stack(
+                [
+                    np.asarray(env.occupancy.occupied[:steps], dtype=bool)
+                    for env in environments
+                ]
+            )
+            alpha = np.empty(count, dtype=float)
+            heat_below = np.empty(count, dtype=float)
+            cool_above = np.empty(count, dtype=float)
+            heat_idx = np.empty(count, dtype=np.int64)
+            cool_idx = np.empty(count, dtype=np.int64)
+            off_idx = np.empty(count, dtype=np.int64)
+            for i, (agent, env) in enumerate(zip(agents, environments)):
+                actions = env.config.actions
+                off_heating, off_cooling = actions.off_setpoints()
+                space = env.action_space
+                alpha[i] = agent.alpha
+                heat_below[i] = agent.heat_below
+                cool_above[i] = agent.cool_above
+                heat_idx[i] = space.to_index(
+                    *actions.clip(agent.comfort.midpoint, off_cooling)
+                )
+                cool_idx[i] = space.to_index(
+                    *actions.clip(off_heating, agent.comfort.midpoint)
+                )
+                off_idx[i] = space.to_index(*actions.clip(off_heating, off_cooling))
+            cache = (key, occupied, alpha, heat_below, cool_above, heat_idx, cool_idx, off_idx)
+            lead._batch_cache = cache
+        _, occupied, alpha, heat_below, cool_above, heat_idx, cool_idx, off_idx = cache
+
+        count = len(agents)
+        zone = np.asarray(observations, dtype=float)[:, 0]
+        occ = occupied[:, step]
+        has_ema = np.fromiter((a._ema is not None for a in agents), dtype=bool, count=count)
+        ema = np.fromiter(
+            (a._ema if a._ema is not None else 0.0 for a in agents),
+            dtype=float,
+            count=count,
+        )
+        smoothed = np.where(has_ema, ema + alpha * (zone - ema), zone)
+        for i, agent in enumerate(agents):
+            agent._ema = float(smoothed[i])
+        indices = np.where(
+            ~occ,
+            off_idx,
+            np.where(
+                smoothed < heat_below,
+                heat_idx,
+                np.where(smoothed > cool_above, cool_idx, off_idx),
+            ),
+        )
+        return ActionBatch(indices)

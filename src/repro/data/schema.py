@@ -465,6 +465,9 @@ class InfoBatch(ColumnarBatch):
     energy_proxy: Optional[NDArray[Any]] = None
     comfort_violation: Optional[NDArray[Any]] = None
     comfort_violated: Optional[NDArray[Any]] = None
+    sensor_dropped: Optional[NDArray[Any]] = None
+    actuator_stuck: Optional[NDArray[Any]] = None
+    demand_response: Optional[NDArray[Any]] = None
 
     COLUMNS = (
         ColumnSpec("hour_of_day", kind="float"),
@@ -478,6 +481,9 @@ class InfoBatch(ColumnarBatch):
         ColumnSpec("energy_proxy", kind="float", required=False),
         ColumnSpec("comfort_violation", kind="float", required=False),
         ColumnSpec("comfort_violated", kind="float", required=False),
+        ColumnSpec("sensor_dropped", kind="float", required=False),
+        ColumnSpec("actuator_stuck", kind="float", required=False),
+        ColumnSpec("demand_response", kind="float", required=False),
     )
 
     # ----------------------------------------------------- mapping protocol

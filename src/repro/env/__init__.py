@@ -11,6 +11,13 @@ the paper's agents use:
 """
 
 from repro.env.spaces import Box, Discrete, SetpointSpace
+from repro.env.disturbances import (
+    DISTURBANCES,
+    DisturbanceSchedule,
+    DisturbanceSpec,
+    available_disturbances,
+    get_disturbance,
+)
 from repro.env.reward import RewardBreakdown, compute_reward, setpoint_energy_proxy
 from repro.env.hvac_env import HVACEnvironment, EnvironmentStep, make_environment
 from repro.env.dataset import Transition, TransitionDataset, collect_historical_data
@@ -21,6 +28,11 @@ __all__ = [
     "Box",
     "Discrete",
     "SetpointSpace",
+    "DISTURBANCES",
+    "DisturbanceSchedule",
+    "DisturbanceSpec",
+    "available_disturbances",
+    "get_disturbance",
     "RewardBreakdown",
     "compute_reward",
     "setpoint_energy_proxy",

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.buildings.building import Building, make_five_zone_building
 from repro.buildings.occupancy import OccupancySeries, office_schedule
+from repro.env.disturbances import DisturbanceSchedule, DisturbanceSpec, get_disturbance
 from repro.env.reward import RewardBreakdown, compute_reward
 from repro.env.spaces import Box, SetpointSpace
 from repro.utils.config import ActionSpaceConfig, ExperimentConfig, RewardConfig, SimulationConfig
@@ -67,16 +68,38 @@ class HVACEnvironment:
         occupancy: OccupancySeries,
         config: Optional[ExperimentConfig] = None,
         initial_zone_temperature: float = 20.0,
+        disturbance: Optional[Union[DisturbanceSchedule, DisturbanceSpec, str]] = None,
     ):
         self.config = config or ExperimentConfig()
-        self.building = building
-        self.weather = weather
-        self.occupancy = occupancy
         if len(weather) != len(occupancy):
             raise ValueError(
                 f"Weather ({len(weather)} steps) and occupancy ({len(occupancy)} steps) "
                 "must cover the same horizon"
             )
+        # Disturbance profiles realise against (episode length, config seed);
+        # a clean/zero-magnitude profile realises to None and the env is
+        # bit-identical to one constructed without the argument.
+        schedule: Optional[DisturbanceSchedule] = None
+        if disturbance is not None:
+            if isinstance(disturbance, DisturbanceSchedule):
+                schedule = disturbance if disturbance.spec.enabled else None
+            else:
+                schedule = get_disturbance(disturbance).realise(
+                    len(weather), seed=self.config.seed
+                )
+        if schedule is not None:
+            if schedule.num_steps != len(weather):
+                raise ValueError(
+                    f"Disturbance schedule covers {schedule.num_steps} steps but "
+                    f"the episode has {len(weather)}"
+                )
+            weather = schedule.apply_to_weather(weather)
+            occupancy = schedule.apply_to_occupancy(occupancy)
+            schedule.apply_to_building(building)
+        self._disturbance = schedule
+        self.building = building
+        self.weather = weather
+        self.occupancy = occupancy
         self.initial_zone_temperature = float(initial_zone_temperature)
         self.action_space = SetpointSpace(self.config.actions)
         self.observation_space = Box(
@@ -87,6 +110,12 @@ class HVACEnvironment:
         self._step_index = 0
         self._rng = ensure_rng(self.config.seed)
         self._last_observation: Optional[np.ndarray] = None
+        # Sensor-fault state: the last reported zone temperature (dropout
+        # repeats it) and the actuator-fault state (last applied setpoint
+        # pair + steps since it changed, for stuck/cycling holds).
+        self._reported_zone: Optional[float] = None
+        self._fault_last: Optional[Tuple[int, int]] = None
+        self._fault_since_change = 0
 
     # ------------------------------------------------------------------ props
     @property
@@ -109,6 +138,11 @@ class HVACEnvironment:
     @property
     def disturbance_names(self) -> List[str]:
         return list(DISTURBANCE_NAMES)
+
+    @property
+    def disturbance(self) -> Optional[DisturbanceSchedule]:
+        """The realised fault schedule of this episode (``None`` when clean)."""
+        return self._disturbance
 
     # ------------------------------------------------------------- observation
     def disturbance_at(self, step: int) -> np.ndarray:
@@ -140,9 +174,37 @@ class HVACEnvironment:
         return np.stack([self.disturbance_at(start_step + h) for h in range(horizon)])
 
     def observation(self) -> np.ndarray:
-        """The current observation vector (state + disturbances)."""
+        """The current observation vector (state + disturbances).
+
+        Under an active sensor-fault schedule the zone-temperature channel is
+        the *reported* value (noise plus dropout-and-hold); the plant always
+        advances on the true temperature.
+        """
         disturbance = self.disturbance_at(self._step_index)
-        return np.concatenate(([self.building.controlled_zone_temperature], disturbance))
+        zone = self.building.controlled_zone_temperature
+        if self._disturbance is not None and self._disturbance.sensor_active:
+            zone = self._report_zone_temperature(zone, self._step_index)
+        return np.concatenate(([zone], disturbance))
+
+    def _report_zone_temperature(self, true_value: float, emission_index: int) -> float:
+        """The sensor's report for one observation emission (noise + dropout).
+
+        ``emission_index`` counts observation emissions (0 at reset, ``t + 1``
+        after step ``t``); faults are precomputed per emission, so repeated
+        calls at the same index are idempotent.
+        """
+        schedule = self._disturbance
+        reported = true_value
+        if schedule.zone_noise is not None:
+            reported = true_value + schedule.zone_noise[emission_index]
+        if (
+            schedule.sensor_dropped is not None
+            and schedule.sensor_dropped[emission_index]
+            and self._reported_zone is not None
+        ):
+            reported = self._reported_zone
+        self._reported_zone = reported
+        return float(reported)
 
     # ------------------------------------------------------------------ reset
     def reset(self, seed: RNGLike = None) -> Tuple[np.ndarray, Dict[str, float]]:
@@ -150,6 +212,9 @@ class HVACEnvironment:
         if seed is not None:
             self._rng = ensure_rng(seed)
         self._step_index = 0
+        self._reported_zone = None
+        self._fault_last = None
+        self._fault_since_change = 0
         self.building.reset(self.initial_zone_temperature)
         obs = self.observation()
         self._last_observation = obs
@@ -167,6 +232,12 @@ class HVACEnvironment:
         step = self._step_index
         if step >= self.num_steps:
             raise RuntimeError("Episode is over; call reset() before stepping again")
+
+        stuck_flag = dr_flag = False
+        if self._disturbance is not None and self._disturbance.action_active:
+            heating, cooling, stuck_flag, dr_flag = self._apply_action_faults(
+                heating, cooling, step
+            )
 
         disturbance = self.disturbance_at(step)
         occupied = self.occupied_at(step)
@@ -192,9 +263,15 @@ class HVACEnvironment:
 
         self._step_index += 1
         truncated = self._step_index >= self.num_steps
-        observation = self.observation() if not truncated else np.concatenate(
-            ([result.controlled_zone_temperature], self.disturbance_at(self._step_index - 1))
-        )
+        if not truncated:
+            observation = self.observation()
+        else:
+            final_zone = result.controlled_zone_temperature
+            if self._disturbance is not None and self._disturbance.sensor_active:
+                final_zone = self._report_zone_temperature(final_zone, self._step_index)
+            observation = np.concatenate(
+                ([final_zone], self.disturbance_at(self._step_index - 1))
+            )
         self._last_observation = observation
 
         comfort = self.config.reward.comfort
@@ -214,6 +291,15 @@ class HVACEnvironment:
                 occupied and not comfort.contains(result.controlled_zone_temperature)
             ),
         }
+        if self._disturbance is not None:
+            schedule = self._disturbance
+            info["sensor_dropped"] = float(
+                bool(
+                    schedule.sensor_dropped is not None and schedule.sensor_dropped[step]
+                )
+            )
+            info["actuator_stuck"] = float(stuck_flag)
+            info["demand_response"] = float(dr_flag)
         return EnvironmentStep(
             observation=observation,
             reward=reward_breakdown.reward,
@@ -223,6 +309,45 @@ class HVACEnvironment:
         )
 
     # ---------------------------------------------------------------- helpers
+    def _apply_action_faults(
+        self, heating: int, cooling: int, step: int
+    ) -> Tuple[int, int, bool, bool]:
+        """Rewrite the commanded setpoints through the action-level faults.
+
+        Order (mirrored exactly by the batched env): demand-response setback,
+        then heat-pump minimum-cycle hold, then stuck damper.  Returns the
+        applied pair plus (actuator-stuck, demand-response) telemetry flags;
+        ``actuator_stuck`` covers both cycling holds and stuck dampers —
+        every case where the plant did not follow the commanded pair.
+        """
+        schedule = self._disturbance
+        dr_flag = bool(schedule.dr_active is not None and schedule.dr_active[step])
+        if dr_flag:
+            setback = schedule.spec.demand_response_setback_c
+            heating, cooling = self.config.actions.clip(
+                heating - setback, cooling + setback
+            )
+        stuck_flag = False
+        if self._fault_last is not None:
+            limit = schedule.spec.cycling_limit_steps
+            if (
+                limit > 0
+                and self._fault_since_change < limit
+                and (heating, cooling) != self._fault_last
+            ):
+                heating, cooling = self._fault_last
+                stuck_flag = True
+            if schedule.stuck is not None and schedule.stuck[step]:
+                heating, cooling = self._fault_last
+                stuck_flag = True
+        pair = (heating, cooling)
+        if self._fault_last is None or pair != self._fault_last:
+            self._fault_since_change = 0
+        else:
+            self._fault_since_change += 1
+        self._fault_last = pair
+        return heating, cooling, stuck_flag, dr_flag
+
     def _resolve_action(self, action: Union[int, Tuple[float, float]]) -> Tuple[int, int]:
         """Accept either a discrete action index or an explicit setpoint pair."""
         if isinstance(action, (tuple, list, np.ndarray)):
@@ -239,6 +364,7 @@ def make_environment(
     config: Optional[ExperimentConfig] = None,
     peak_occupants: int = 24,
     season: str = "winter",
+    disturbance: Optional[Union[DisturbanceSpec, str]] = None,
 ) -> HVACEnvironment:
     """Build the standard experiment environment for a named city.
 
@@ -284,4 +410,10 @@ def make_environment(
     weather = generate_weather(city, seed=seed, days=simulation.days, simulation=simulation)
     occupancy = office_schedule(peak_occupants).generate_series(simulation, seed=seed + 1)
     building = make_five_zone_building()
-    return HVACEnvironment(building=building, weather=weather, occupancy=occupancy, config=config)
+    return HVACEnvironment(
+        building=building,
+        weather=weather,
+        occupancy=occupancy,
+        config=config,
+        disturbance=disturbance,
+    )

@@ -78,7 +78,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     scenario = _resolve(
         ScenarioSpec.from_name,
-        "/".join(p for p in (args.climate, args.season, args.building) if p),
+        "/".join(
+            p
+            for p in (args.climate, args.season, args.building, args.disturbance)
+            if p
+        ),
         days=args.days,
     )
     agent = _resolve(canonical_name, args.agent)
@@ -145,8 +149,16 @@ def cmd_agents(_args: argparse.Namespace) -> int:
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.env.disturbances import DISTURBANCES
     from repro.experiments.scenarios import scenario_grid
 
+    if args.disturbances:
+        rows = [
+            [name, ", ".join(sorted(spec.active_components())) or "-"]
+            for name, spec in sorted(DISTURBANCES.items())
+        ]
+        print(format_table(["disturbance", "active fault components"], rows))
+        return 0
     grid = _resolve(
         scenario_grid,
         cities=[args.climate] if args.climate else None,
@@ -1628,6 +1640,114 @@ def _bench_fleet(args: argparse.Namespace) -> Dict:
     }
 
 
+#: Agents rowed in the robustness table by default: the MPC teacher, the
+#: distilled tree and every classical baseline.
+_ROBUSTNESS_AGENTS = ("mbrl", "dt", "rule_based", "hysteresis", "pid", "ema")
+
+#: Fault classes columned in the robustness table by default (a subset of
+#: :data:`repro.env.disturbances.DISTURBANCES` that keeps the quick bench
+#: quick; ``--faults`` overrides).
+_ROBUSTNESS_FAULTS = (
+    "clean",
+    "sensor_noise",
+    "sensor_dropout",
+    "stuck_damper",
+    "weak_hvac",
+    "short_cycle",
+    "occupancy_surprise",
+    "demand_response",
+    "heat_wave",
+)
+
+
+def _bench_robustness(args: argparse.Namespace) -> Dict:
+    """Comfort-violation/energy table of every agent under each fault class.
+
+    Runs the full agent × disturbance grid on one scenario with per-episode
+    seeds from the shared seed ladder, so the table is deterministic for a
+    given (scenario, seed, days, episodes) tuple — the committed
+    ``BENCH_robustness.json`` and the golden regression test both rely on
+    that.  The model-based agents run deliberately tiny configurations (the
+    point is the *relative* degradation under faults, not absolute teacher
+    quality).
+    """
+    from repro.agents.registry import canonical_name
+    from repro.env.disturbances import get_disturbance
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.scenarios import ScenarioSpec
+
+    agents = [
+        _resolve(canonical_name, name.strip())
+        for name in (args.robust_agents.split(",") if args.robust_agents else _ROBUSTNESS_AGENTS)
+        if name.strip()
+    ]
+    faults = [
+        name.strip()
+        for name in (args.faults.split(",") if args.faults else _ROBUSTNESS_FAULTS)
+        if name.strip()
+    ]
+    for fault in faults:
+        _resolve(get_disturbance, fault)  # validates early, before any run
+
+    # Tiny model-based configurations: fast enough for CI's quick bench while
+    # still exercising the full plan/act loop under every fault.
+    agent_configs: Dict[str, Dict] = {
+        "mbrl": {
+            "hidden_sizes": (16, 16),
+            "training_epochs": 4,
+            "training_days": 1,
+            "num_samples": 64,
+            "horizon": 5,
+        },
+        "dt": {"pipeline": {}},
+    }
+
+    rows: List[Dict] = []
+    for fault in faults:
+        scenario = ScenarioSpec.from_name(
+            "/".join((args.climate, args.season, "office", fault)), days=args.days
+        )
+        runner = ExperimentRunner(
+            scenario,
+            episodes=args.episodes,
+            base_seed=args.seed,
+            backend=args.backend,
+            batch_size=args.batch_size,
+            workers=args.workers,
+        )
+        for agent in agents:
+            result = runner.run(agent, agent_config=agent_configs.get(agent, {}))
+            rows.append(
+                {
+                    "agent": agent,
+                    "fault": fault,
+                    "mean_total_reward": result.mean_total_reward,
+                    "mean_energy_kwh": result.mean_energy_kwh,
+                    "mean_comfort_violation_rate": result.mean_comfort_violation_rate,
+                }
+            )
+
+    by_cell = {(row["agent"], row["fault"]): row for row in rows}
+    gaps = {
+        fault: by_cell[("dt", fault)]["mean_comfort_violation_rate"]
+        - by_cell[("mbrl", fault)]["mean_comfort_violation_rate"]
+        for fault in faults
+        if ("dt", fault) in by_cell and ("mbrl", fault) in by_cell
+    }
+    return {
+        "benchmark": "robustness",
+        "scenario": "/".join((args.climate, args.season, "office")),
+        "days": args.days,
+        "episodes": args.episodes,
+        "seed": args.seed,
+        "backend": args.backend,
+        "agents": agents,
+        "faults": faults,
+        "rows": rows,
+        "dt_vs_teacher_comfort_gap": gaps,
+    }
+
+
 _BENCH_TARGETS = {
     "rollout": _bench_rollout,
     "distill": _bench_distill,
@@ -1637,6 +1757,7 @@ _BENCH_TARGETS = {
     "serve-faults": _bench_serve_faults,
     "store-cold": _bench_store_cold,
     "fleet": _bench_fleet,
+    "robustness": _bench_robustness,
 }
 
 
@@ -1667,6 +1788,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--climate", default="pittsburgh", help="city name or climate alias")
     run.add_argument("--season", default="winter", choices=["winter", "summer"])
     run.add_argument("--building", default="office", help="building variant")
+    run.add_argument(
+        "--disturbance",
+        default=None,
+        help="fault profile applied to every episode (see `repro scenarios --disturbances`)",
+    )
     run.add_argument("--days", type=int, default=7, help="episode length in days")
     run.add_argument("--steps", type=int, default=None, help="cap on steps per episode")
     run.add_argument("--episodes", type=int, default=1)
@@ -1735,6 +1861,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios = sub.add_parser("scenarios", help="list the scenario grid")
     scenarios.add_argument("--climate", default=None)
     scenarios.add_argument("--season", default=None, choices=["winter", "summer"])
+    scenarios.add_argument(
+        "--disturbances",
+        action="store_true",
+        help="list the named disturbance profiles instead of the scenario grid",
+    )
     scenarios.set_defaults(func=cmd_scenarios)
 
     climates = sub.add_parser("climates", help="list climate profiles and aliases")
@@ -1946,14 +2077,16 @@ def build_parser() -> argparse.ArgumentParser:
             "serve-faults",
             "store-cold",
             "fleet",
+            "robustness",
         ],
         help=(
             "what to benchmark: rollouts, decision-dataset distillation, policy "
             "serving, the columnar vs legacy serving front door, the "
             "multi-process sharded server vs single-process columnar, "
             "fleet recovery under injected kill/hang faults, the packed "
-            "arena vs per-file JSON cold load, or the "
-            "closed-loop fleet (throughput + canary/rollback floors)"
+            "arena vs per-file JSON cold load, the "
+            "closed-loop fleet (throughput + canary/rollback floors), or the "
+            "agent × fault robustness table (comfort/energy per disturbance)"
         ),
     )
     bench.add_argument("--agent", default="rule_based")
@@ -2023,6 +2156,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="fail",
         choices=["fail", "fallback"],
         help="exhausted-budget policy under faults (serve-faults target)",
+    )
+    bench.add_argument(
+        "--faults",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated fault profiles (robustness target; default: the standard set)",
+    )
+    bench.add_argument(
+        "--robust-agents",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated agent names (robustness target; default: teacher, dt and classical baselines)",
     )
     bench.add_argument("--output", default=None)
     bench.set_defaults(func=cmd_bench)

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.buildings.building import Building, make_five_zone_building
 from repro.buildings.occupancy import office_schedule
+from repro.env.disturbances import DISTURBANCES
 from repro.env.hvac_env import HVACEnvironment
 from repro.utils.config import (
     SEASONS,
@@ -56,13 +57,20 @@ NAME_SEPARATOR = "/"
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One cell of the climate × season × building grid."""
+    """One cell of the climate × season × building (× disturbance) grid.
+
+    ``disturbance`` names one of the :data:`~repro.env.disturbances.DISTURBANCES`
+    fault profiles; the default ``"clean"`` runs the unperturbed environment
+    (bit-identical to a spec from before the disturbance layer existed — the
+    equivalence tests enforce this).
+    """
 
     city: str
     season: str = "winter"
     building: str = "office"
     days: int = 7
     minutes_per_step: int = 15
+    disturbance: str = "clean"
 
     def __post_init__(self) -> None:
         get_climate(self.city)  # validates the city early
@@ -74,32 +82,42 @@ class ScenarioSpec:
             raise ValueError(
                 f"Unknown building {self.building!r}. Available: {', '.join(sorted(BUILDINGS))}"
             )
+        if self.disturbance not in DISTURBANCES:
+            raise ValueError(
+                f"Unknown disturbance {self.disturbance!r}. "
+                f"Available: {', '.join(sorted(DISTURBANCES))}"
+            )
         if self.days <= 0:
             raise ValueError("days must be positive")
 
     # ------------------------------------------------------------------ names
     @property
     def name(self) -> str:
-        return NAME_SEPARATOR.join((self.city, self.season, self.building))
+        parts = (self.city, self.season, self.building)
+        if self.disturbance != "clean":
+            parts = parts + (self.disturbance,)
+        return NAME_SEPARATOR.join(parts)
 
     @classmethod
     def from_name(cls, name: str, days: int = 7, minutes_per_step: int = 15) -> "ScenarioSpec":
-        """Parse ``"city[/season[/building]]"`` into a spec."""
+        """Parse ``"city[/season[/building[/disturbance]]]"`` into a spec."""
         parts = [p for p in name.strip().split(NAME_SEPARATOR) if p]
-        if not 1 <= len(parts) <= 3:
+        if not 1 <= len(parts) <= 4:
             raise ValueError(
-                f"Scenario name {name!r} must look like 'city', 'city/season' "
-                "or 'city/season/building'"
+                f"Scenario name {name!r} must look like 'city', 'city/season', "
+                "'city/season/building' or 'city/season/building/disturbance'"
             )
         city = get_climate(parts[0]).name  # resolves aliases like hot_humid
         season = parts[1] if len(parts) > 1 else "winter"
         building = parts[2] if len(parts) > 2 else "office"
+        disturbance = parts[3] if len(parts) > 3 else "clean"
         return cls(
             city=city,
             season=season,
             building=building,
             days=days,
             minutes_per_step=minutes_per_step,
+            disturbance=disturbance,
         )
 
     def with_overrides(self, **overrides) -> "ScenarioSpec":
@@ -148,6 +166,7 @@ class ScenarioSpec:
             occupancy=occupancy,
             config=config,
             initial_zone_temperature=self.building_spec.initial_zone_temperature,
+            disturbance=self.disturbance,
         )
 
 
@@ -157,11 +176,17 @@ def scenario_grid(
     buildings: Optional[Sequence[str]] = None,
     days: int = 7,
     minutes_per_step: int = 15,
+    disturbances: Optional[Sequence[str]] = None,
 ) -> List[ScenarioSpec]:
-    """The full (or filtered) climate × season × building grid."""
+    """The full (or filtered) climate × season × building (× fault) grid.
+
+    ``disturbances`` defaults to the clean environment only, so the default
+    grid (and every pre-existing caller) is unchanged.
+    """
     cities = list(cities) if cities is not None else available_climates()
     seasons = list(seasons) if seasons is not None else sorted(SEASONS)
     buildings = list(buildings) if buildings is not None else sorted(BUILDINGS)
+    disturbances = list(disturbances) if disturbances is not None else ["clean"]
     return [
         ScenarioSpec(
             city=get_climate(city).name,
@@ -169,10 +194,12 @@ def scenario_grid(
             building=building,
             days=days,
             minutes_per_step=minutes_per_step,
+            disturbance=disturbance,
         )
         for city in cities
         for season in seasons
         for building in buildings
+        for disturbance in disturbances
     ]
 
 

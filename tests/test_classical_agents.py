@@ -1,0 +1,206 @@
+"""Classical baseline controllers: PID anti-windup, EMA warm-up, batch identity.
+
+The batched fast paths of both controllers promise element-wise equality with
+the per-episode ``select_action`` loop; those promises are enforced here with
+exact (``==``, not approx) comparisons across full episodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents import EMAAgent, PIDAgent
+from repro.agents.registry import available_agents, make_agent
+from repro.env import BatchedHVACEnvironment, make_environment
+from repro.utils.config import ComfortConfig
+
+
+def env_for(seed=0, disturbance=None):
+    return make_environment(
+        city="pittsburgh", season="winter", days=1, seed=seed,
+        disturbance=disturbance,
+    )
+
+
+def occupied_step(env):
+    """First occupied step index of the environment's schedule."""
+    return int(np.argmax(np.asarray(env.occupancy.occupied, dtype=bool)))
+
+
+class TestRegistry:
+    def test_registered_with_aliases(self):
+        names = available_agents()
+        assert "pid" in names and "ema" in names
+        env = env_for()
+        assert isinstance(make_agent("pi", environment=env), PIDAgent)
+        assert isinstance(make_agent("smoothed", environment=env), EMAAgent)
+
+    def test_from_config_defaults_comfort_from_environment(self):
+        env = env_for()
+        agent = PIDAgent.from_config(environment=env)
+        assert agent.comfort == env.config.reward.comfort
+        assert EMAAgent.from_config(season="summer").comfort == ComfortConfig.for_season(
+            "summer"
+        )
+
+
+class TestPID:
+    def test_anti_windup_clamps_the_integrator(self):
+        agent = PIDAgent(comfort=ComfortConfig.winter(), windup_limit=3.0)
+        env = env_for()
+        step = occupied_step(env)
+        # A persistently cold zone drives error > 0 every call; the integral
+        # must saturate at the clamp instead of growing without bound.
+        freezing = np.array([5.0, 0.0, 0.0, 0.0])
+        for _ in range(50):
+            agent.select_action(freezing, env, step)
+        assert agent._integral == 3.0
+        boiling = np.array([45.0, 0.0, 0.0, 0.0])
+        for _ in range(50):
+            agent.select_action(boiling, env, step)
+        assert agent._integral == -3.0
+
+    def test_unoccupied_step_resets_state_and_releases_plant(self):
+        env = env_for()
+        agent = PIDAgent.from_config(environment=env)
+        step = occupied_step(env)
+        agent.select_action(np.array([10.0, 0.0, 0.0, 0.0]), env, step)
+        assert agent._integral != 0.0 and agent._has_prev
+        unoccupied = int(np.argmin(np.asarray(env.occupancy.occupied, dtype=bool)))
+        action = agent.select_action(np.array([10.0, 0.0, 0.0, 0.0]), env, unoccupied)
+        assert agent._integral == 0.0 and not agent._has_prev
+        off = env.action_space.to_index(
+            *env.config.actions.clip(*env.config.actions.off_setpoints())
+        )
+        assert action == off
+
+    def test_derivative_is_zero_until_second_sample(self):
+        comfort = ComfortConfig.winter()
+        kd_only = PIDAgent(comfort=comfort, kp=0.0, ki=0.0, kd=50.0)
+        plain = PIDAgent(comfort=comfort, kp=0.0, ki=0.0, kd=0.0)
+        env = env_for()
+        step = occupied_step(env)
+        obs = np.array([comfort.midpoint - 2.0, 0.0, 0.0, 0.0])
+        # First occupied call: no previous error, derivative contributes nothing.
+        assert kd_only.select_action(obs, env, step) == plain.select_action(
+            obs, env, step
+        )
+        # Second call with a changed error: the huge kd must now show up.
+        obs2 = np.array([comfort.midpoint - 4.0, 0.0, 0.0, 0.0])
+        assert kd_only.select_action(obs2, env, step) != plain.select_action(
+            obs2, env, step
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="windup_limit"):
+            PIDAgent(windup_limit=0.0)
+        with pytest.raises(ValueError, match="band"):
+            PIDAgent(band=-1.0)
+
+
+class TestEMA:
+    def test_warm_up_seeds_with_first_sample(self):
+        agent = EMAAgent(comfort=ComfortConfig.winter(), alpha=0.3)
+        assert agent._advance_filter(19.0) == 19.0
+        assert agent._advance_filter(25.0) == pytest.approx(19.0 + 0.3 * 6.0)
+
+    def test_filter_tracks_through_unoccupied_steps(self):
+        env = env_for()
+        agent = EMAAgent.from_config(environment=env)
+        unoccupied = int(np.argmin(np.asarray(env.occupancy.occupied, dtype=bool)))
+        action = agent.select_action(np.array([5.0, 0.0, 0.0, 0.0]), env, unoccupied)
+        assert agent._ema == 5.0  # filter advanced even though the plant is off
+        off = env.action_space.to_index(
+            *env.config.actions.clip(*env.config.actions.off_setpoints())
+        )
+        assert action == off
+
+    def test_threshold_law(self):
+        env = env_for()
+        agent = EMAAgent.from_config(environment=env, alpha=1.0)
+        step = occupied_step(env)
+        actions = env.config.actions
+        off_heating, off_cooling = actions.off_setpoints()
+        midpoint = agent.comfort.midpoint
+        cold = agent.select_action(np.array([agent.heat_below - 1.0, 0, 0, 0]), env, step)
+        assert cold == env.action_space.to_index(
+            *actions.clip(midpoint, off_cooling)
+        )
+        hot = agent.select_action(np.array([agent.cool_above + 1.0, 0, 0, 0]), env, step)
+        assert hot == env.action_space.to_index(
+            *actions.clip(off_heating, midpoint)
+        )
+        mild = agent.select_action(np.array([midpoint, 0, 0, 0]), env, step)
+        assert mild == env.action_space.to_index(
+            *actions.clip(off_heating, off_cooling)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            EMAAgent(alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            EMAAgent(alpha=1.5)
+        with pytest.raises(ValueError, match="margin"):
+            EMAAgent(margin=-0.1)
+        with pytest.raises(ValueError, match="margin"):
+            EMAAgent(comfort=ComfortConfig.winter(), margin=10.0)
+
+
+class TestBatchIdentity:
+    """Batched selection must equal the per-row loop bit-for-bit, stateful."""
+
+    @pytest.mark.parametrize("agent_cls", [PIDAgent, EMAAgent])
+    @pytest.mark.parametrize("disturbance", [None, "rough_day"])
+    def test_batch_matches_serial_over_full_episode(self, agent_cls, disturbance):
+        seeds = (1, 2, 3, 4)
+        batch_envs = [env_for(seed=s, disturbance=disturbance) for s in seeds]
+        serial_envs = [env_for(seed=s, disturbance=disturbance) for s in seeds]
+        batch = BatchedHVACEnvironment(batch_envs)
+        batch_agents = agent_cls.for_environments(batch_envs)
+        serial_agents = agent_cls.for_environments(serial_envs)
+
+        obs_batch, _ = batch.reset()
+        serial_obs = [np.asarray(env.reset()[0]) for env in serial_envs]
+        for step in range(batch.num_steps):
+            batched = agent_cls.select_actions_batch(
+                batch_agents, obs_batch, batch_envs, step
+            )
+            expected = [
+                agent.select_action(obs, env, step)
+                for agent, obs, env in zip(serial_agents, serial_obs, serial_envs)
+            ]
+            assert list(np.asarray(batched)) == expected
+            result = batch.step(np.asarray(batched))
+            obs_batch = result.observations
+            serial_obs = [
+                np.asarray(env.step(a).observation)
+                for env, a in zip(serial_envs, expected)
+            ]
+        # Controller state stayed in lockstep too.
+        for a, b in zip(batch_agents, serial_agents):
+            if agent_cls is PIDAgent:
+                assert (a._integral, a._prev_error, a._has_prev) == (
+                    b._integral, b._prev_error, b._has_prev
+                )
+            else:
+                assert a._ema == b._ema
+
+    def test_pid_falls_back_on_heterogeneous_action_spaces(self):
+        envs = [env_for(seed=1), env_for(seed=2)]
+        # Give the second environment a different discrete action table.
+        from dataclasses import replace
+
+        from repro.env.spaces import SetpointSpace
+
+        narrow = replace(envs[1].config.actions, heating_min=17, cooling_max=28)
+        envs[1].config = replace(envs[1].config, actions=narrow)
+        envs[1].action_space = SetpointSpace(narrow)
+        agents = PIDAgent.for_environments(envs)
+        obs = np.stack([np.asarray(env.reset()[0]) for env in envs])
+        step = occupied_step(envs[0])
+        batched = PIDAgent.select_actions_batch(agents, obs, envs, step)
+        fresh = PIDAgent.for_environments(envs)
+        expected = [
+            agent.select_action(row, env, step)
+            for agent, row, env in zip(fresh, np.asarray(obs), envs)
+        ]
+        assert list(np.asarray(batched)) == expected

@@ -1,0 +1,416 @@
+"""Disturbance/fault layer: clean bit-identity, determinism, robustness goldens.
+
+The contract under test, in order of importance:
+
+1. a disabled or zero-magnitude disturbance profile is **bit-identical** to
+   the clean environment — scalar and batched, across every runner backend;
+2. identical ``(DisturbanceSpec, seed)`` pairs realise identical fault
+   schedules and produce identical telemetry across runs, backends and
+   serving topologies (shards=1 vs sharded fleet);
+3. each fault class does what its name says (dropout holds the last report,
+   stuck dampers freeze setpoints, DR relaxes them, degradation weakens the
+   plant, surprises scale people but not the schedule);
+4. the robustness table of the classical controllers is pinned to committed
+   golden figures, so controller or environment drift fails loudly.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import run_lint
+from repro.data import InfoBatch
+from repro.env import (
+    DISTURBANCES,
+    BatchedHVACEnvironment,
+    DisturbanceSpec,
+    available_disturbances,
+    get_disturbance,
+    make_environment,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import ScenarioSpec, scenario_grid
+from repro.fleet import FleetGroup, FleetLoop
+from repro.serving import ShardedPolicyServer
+
+DAYS = 1
+
+
+def scalar_env(seed=0, disturbance=None, **kwargs):
+    return make_environment(
+        city="pittsburgh", season="winter", days=DAYS, seed=seed,
+        disturbance=disturbance, **kwargs,
+    )
+
+
+def rollout(env, stride=7):
+    """Deterministic action-cycling rollout; returns (observations, rewards, infos)."""
+    obs, _ = env.reset()
+    observations = [np.asarray(obs).copy()]
+    rewards, infos = [], []
+    n = len(env.action_space.pairs)
+    for t in range(env.num_steps):
+        result = env.step((t * stride) % n)
+        observations.append(np.asarray(result.observation).copy())
+        rewards.append(result.reward)
+        infos.append(dict(result.info))
+    return np.array(observations), np.array(rewards), infos
+
+
+def episode_dicts(result):
+    """Episode payloads with the wall-clock timing fields removed."""
+    rows = []
+    for episode in result.episodes:
+        row = episode.to_dict()
+        row.pop("wall_seconds", None)
+        row.pop("steps_per_second", None)
+        rows.append(row)
+    return rows
+
+
+def rollout_batched(envs, stride=7):
+    batch = BatchedHVACEnvironment(envs)
+    obs, _ = batch.reset()
+    observations = [np.asarray(obs).copy()]
+    rewards, infos = [], []
+    n = len(batch._pairs)
+    for t in range(batch.num_steps):
+        actions = np.full(batch.batch_size, (t * stride) % n, dtype=np.int64)
+        result = batch.step(actions)
+        observations.append(np.asarray(result.observations).copy())
+        rewards.append(result.rewards.copy())
+        infos.append(result.info)
+    return np.array(observations), np.array(rewards), infos
+
+
+# ---------------------------------------------------------- clean bit-identity
+class TestCleanEquivalence:
+    def test_scalar_disabled_profiles_are_bit_identical(self):
+        base_obs, base_rew, base_infos = rollout(scalar_env(seed=3))
+        for disturbance in (
+            "clean",
+            DisturbanceSpec(),
+            DisturbanceSpec(sensor_noise_std=0.0, stuck_damper_rate=0.0),
+        ):
+            obs, rew, infos = rollout(scalar_env(seed=3, disturbance=disturbance))
+            assert np.array_equal(base_obs, obs)
+            assert np.array_equal(base_rew, rew)
+            assert infos == base_infos
+
+    def test_clean_env_has_no_fault_telemetry_keys(self):
+        env = scalar_env(seed=1)
+        env.reset()
+        info = env.step(0).info
+        for key in ("sensor_dropped", "actuator_stuck", "demand_response"):
+            assert key not in info
+
+    def test_batched_disabled_profiles_are_bit_identical(self):
+        seeds = (1, 2, 3)
+        base = rollout_batched([scalar_env(seed=s) for s in seeds])
+        spec = rollout_batched(
+            [scalar_env(seed=s, disturbance="clean") for s in seeds]
+        )
+        assert np.array_equal(base[0], spec[0])
+        assert np.array_equal(base[1], spec[1])
+        # clean batches carry no fault columns either
+        for info in spec[2]:
+            assert "sensor_dropped" not in info
+
+    @pytest.mark.parametrize("backend", ["serial", "batched", "process"])
+    def test_runner_backends_match_pre_disturbance_results(self, backend):
+        plain = ScenarioSpec.from_name("pittsburgh/winter/office", days=DAYS)
+        clean = ScenarioSpec.from_name("pittsburgh/winter/office/clean", days=DAYS)
+        assert clean == plain  # "clean" is the default, not a distinct cell
+        kwargs = dict(episodes=3, base_seed=5, backend=backend, workers=2)
+        result_plain = ExperimentRunner(plain, **kwargs).run("hysteresis")
+        result_clean = ExperimentRunner(clean, **kwargs).run("hysteresis")
+        assert episode_dicts(result_plain) == episode_dicts(result_clean)
+
+    @pytest.mark.parametrize("backend", ["batched", "process"])
+    def test_runner_backends_match_serial_under_faults(self, backend):
+        spec = ScenarioSpec.from_name("pittsburgh/winter/office/rough_day", days=DAYS)
+        kwargs = dict(episodes=3, base_seed=5, workers=2)
+        serial = ExperimentRunner(spec, backend="serial", **kwargs).run("pid")
+        other = ExperimentRunner(spec, backend=backend, **kwargs).run("pid")
+        for a, b in zip(serial.episodes, other.episodes):
+            assert a.total_reward == b.total_reward
+            assert a.total_energy_kwh == b.total_energy_kwh
+            assert a.comfort_violation_steps == b.comfort_violation_steps
+
+
+# -------------------------------------------------------------- determinism
+class TestScheduleDeterminism:
+    def test_identical_spec_and_seed_realise_identical_schedules(self):
+        spec = DISTURBANCES["rough_day"]
+        a = spec.realise(96, seed=42)
+        b = spec.realise(96, seed=42)
+        for field in ("zone_noise", "sensor_dropped", "stuck", "dr_active"):
+            left, right = getattr(a, field), getattr(b, field)
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert np.array_equal(left, right)
+
+    def test_component_streams_are_independent(self):
+        # Enabling an unrelated fault class must not shift another's schedule.
+        stuck_only = DisturbanceSpec(stuck_damper_rate=0.1).realise(96, seed=7)
+        combined = DisturbanceSpec(
+            stuck_damper_rate=0.1, sensor_noise_std=0.5, demand_response_rate=0.1
+        ).realise(96, seed=7)
+        assert np.array_equal(stuck_only.stuck, combined.stuck)
+
+    def test_different_seeds_differ(self):
+        spec = DISTURBANCES["sensor_noise"]
+        assert not np.array_equal(
+            spec.realise(96, seed=0).zone_noise, spec.realise(96, seed=1).zone_noise
+        )
+
+    def test_telemetry_identical_across_runs(self):
+        spec = ScenarioSpec.from_name("pittsburgh/winter/office/rough_day", days=DAYS)
+        kwargs = dict(episodes=2, base_seed=9, backend="serial")
+        first = ExperimentRunner(spec, **kwargs).run("hysteresis")
+        second = ExperimentRunner(spec, **kwargs).run("hysteresis")
+        assert episode_dicts(first) == episode_dicts(second)
+
+    def test_reprolint_rng_rule_covers_disturbances_with_empty_baseline(self):
+        import repro.env.disturbances as module
+
+        result = run_lint(Path(module.__file__), only=("REP005",))
+        assert result.file_count == 1
+        assert result.findings == []  # empty baseline: nothing absorbed either
+        assert result.baselined_count == 0
+        assert result.ok
+
+
+class TestFleetShardDeterminism:
+    """shards=1 vs sharded serving produce identical fault-fleet telemetry."""
+
+    def make_loop(self, num_shards):
+        from tests.test_fleet import tree_policy_for
+
+        group = FleetGroup.from_scenario(
+            "pittsburgh/winter/office/rough_day",
+            policy_id="inc",
+            num_buildings=8,
+            base_seed=0,
+            days=DAYS,
+        )
+        policy = tree_policy_for(group.env.environments[0], seed=11)
+        server = ShardedPolicyServer(
+            store=False, num_shards=num_shards, timeout=10.0, heartbeat_interval=None
+        )
+        try:
+            server.register("inc", policy)
+            loop = FleetLoop(server, [group])
+            loop.run(4)
+        finally:
+            server.close()
+        return loop
+
+    def test_sharded_fleet_telemetry_bit_identical(self):
+        local = self.make_loop(num_shards=1)
+        sharded = self.make_loop(num_shards=2)
+        assert local.telemetry.lost_ticks == sharded.telemetry.lost_ticks == 0
+        assert local.telemetry.equals(sharded.telemetry)
+
+
+# ----------------------------------------------------------- fault behaviour
+class TestFaultBehaviour:
+    def test_sensor_dropout_repeats_last_report(self):
+        env = scalar_env(seed=2, disturbance="sensor_dropout")
+        schedule = env.disturbance
+        assert schedule is not None and schedule.sensor_dropped is not None
+        assert not schedule.sensor_dropped[0]
+        obs, _ = env.reset()
+        last = float(np.asarray(obs)[0])
+        for t in range(env.num_steps):
+            result = env.step(0)
+            reported = float(np.asarray(result.observation)[0])
+            if schedule.sensor_dropped[t + 1]:
+                assert reported == last
+            # the info flag records the dropout state at the *step* index
+            assert result.info["sensor_dropped"] == float(schedule.sensor_dropped[t])
+            last = reported
+
+    def test_stuck_damper_freezes_applied_setpoints(self):
+        env = scalar_env(seed=4, disturbance="stuck_damper")
+        schedule = env.disturbance
+        assert schedule is not None and schedule.stuck is not None
+        env.reset()
+        pairs = env.action_space.pairs
+        previous = None
+        for t in range(env.num_steps):
+            action = t % len(pairs)
+            info = env.step(action).info
+            applied = (info["heating_setpoint"], info["cooling_setpoint"])
+            if t > 0 and schedule.stuck[t]:
+                assert applied == previous
+                assert info["actuator_stuck"] == 1.0
+            previous = applied
+
+    def test_demand_response_relaxes_setpoints(self):
+        spec = DisturbanceSpec(
+            demand_response_rate=0.2, demand_response_steps=4,
+            demand_response_setback_c=2.0,
+        )
+        env = scalar_env(seed=6, disturbance=spec)
+        schedule = env.disturbance
+        assert schedule is not None and schedule.dr_active is not None
+        env.reset()
+        comfortable = env.action_space.to_index(21, 23)
+        clip = env.config.actions.clip
+        for t in range(env.num_steps):
+            info = env.step(comfortable).info
+            if schedule.dr_active[t] and not info["actuator_stuck"]:
+                assert info["demand_response"] == 1.0
+                assert (info["heating_setpoint"], info["cooling_setpoint"]) == clip(
+                    21 - 2.0, 23 + 2.0
+                )
+
+    def test_cycling_limit_holds_pairs_for_minimum_steps(self):
+        env = scalar_env(seed=0, disturbance="short_cycle")
+        env.reset()
+        limit = DISTURBANCES["short_cycle"].cycling_limit_steps
+        pairs = env.action_space.pairs
+        applied = []
+        for t in range(4 * limit):
+            info = env.step(t % len(pairs)).info
+            applied.append((info["heating_setpoint"], info["cooling_setpoint"]))
+        changes = [i for i in range(1, len(applied)) if applied[i] != applied[i - 1]]
+        assert all(b - a >= limit for a, b in zip(changes, changes[1:]))
+
+    def test_weak_hvac_degrades_the_plant(self):
+        clean = scalar_env(seed=0)
+        weak = scalar_env(seed=0, disturbance="weak_hvac")
+        factor = DISTURBANCES["weak_hvac"].capacity_factor
+        for name, unit in clean.building.hvac_units.items():
+            degraded = weak.building.hvac_units[name]
+            assert degraded.proportional_gain_w_per_k == pytest.approx(
+                unit.proportional_gain_w_per_k * factor
+            )
+            assert degraded.zone.max_heating_power_w == pytest.approx(
+                unit.zone.max_heating_power_w * factor
+            )
+
+    def test_occupancy_surprise_scales_people_not_schedule(self):
+        spec = DisturbanceSpec(
+            occupancy_surprise_rate=0.05, occupancy_surprise_steps=8,
+            occupancy_surprise_scale=3.0,
+        )
+        clean = scalar_env(seed=8)
+        surprised = scalar_env(seed=8, disturbance=spec)
+        scale = surprised.disturbance.occupancy_scale
+        assert scale is not None
+        assert np.array_equal(surprised.occupancy.occupied, clean.occupancy.occupied)
+        assert np.array_equal(
+            surprised.occupancy.counts, clean.occupancy.counts * scale
+        )
+
+    def test_weather_events_shift_outdoor_temperature_only(self):
+        spec = DisturbanceSpec(
+            weather_event_rate=0.1, weather_event_steps=12, weather_shift_c=8.0
+        )
+        clean = scalar_env(seed=12)
+        hot = scalar_env(seed=12, disturbance=spec)
+        shift = hot.disturbance.weather_shift
+        assert shift is not None and shift.any()
+        assert np.array_equal(
+            hot.weather.outdoor_temperature, clean.weather.outdoor_temperature + shift
+        )
+        assert np.array_equal(hot.weather.solar_radiation, clean.weather.solar_radiation)
+
+    def test_batched_matches_scalar_under_mixed_faults(self):
+        profiles = ["rough_day", None, "sensor_dropout", "short_cycle"]
+        seeds = (1, 2, 3, 4)
+        scalar_envs = [scalar_env(seed=s, disturbance=p) for s, p in zip(seeds, profiles)]
+        batch_envs = [scalar_env(seed=s, disturbance=p) for s, p in zip(seeds, profiles)]
+        scalar_results = [rollout(env) for env in scalar_envs]
+        batch_obs, batch_rew, batch_infos = rollout_batched(batch_envs)
+        for i, (obs, rew, infos) in enumerate(scalar_results):
+            assert np.array_equal(obs, batch_obs[:, i])
+            assert np.array_equal(rew, batch_rew[:, i])
+            for t, info in enumerate(infos):
+                for key in ("sensor_dropped", "actuator_stuck", "demand_response"):
+                    assert info.get(key, 0.0) == batch_infos[t][key][i]
+
+    def test_info_batch_carries_fault_columns(self):
+        batch = BatchedHVACEnvironment(
+            [scalar_env(seed=1, disturbance="rough_day"), scalar_env(seed=2)]
+        )
+        batch.reset()
+        info = batch.step(np.zeros(2, dtype=np.int64)).info
+        assert isinstance(info, InfoBatch)
+        for key in ("sensor_dropped", "actuator_stuck", "demand_response"):
+            assert key in info
+            assert info[key].shape == (2,)
+
+
+# ------------------------------------------------------------------ scenarios
+class TestScenarioIntegration:
+    def test_four_part_names_round_trip(self):
+        spec = ScenarioSpec.from_name(
+            "pittsburgh/winter/office/sensor_dropout", days=DAYS
+        )
+        assert spec.disturbance == "sensor_dropout"
+        assert spec.name == "pittsburgh/winter/office/sensor_dropout"
+        assert ScenarioSpec.from_name(spec.name, days=DAYS) == spec
+
+    def test_unknown_disturbance_is_rejected(self):
+        with pytest.raises(ValueError, match="Unknown disturbance"):
+            ScenarioSpec.from_name("pittsburgh/winter/office/nope", days=DAYS)
+
+    def test_grid_is_unchanged_by_default_and_expands_on_request(self):
+        default = scenario_grid(cities=["pittsburgh"], seasons=["winter"])
+        assert all(s.disturbance == "clean" for s in default)
+        expanded = scenario_grid(
+            cities=["pittsburgh"], seasons=["winter"],
+            disturbances=["clean", "rough_day"],
+        )
+        assert len(expanded) == 2 * len(default)
+
+    def test_presets_registry(self):
+        assert set(available_disturbances()) == set(DISTURBANCES)
+        assert get_disturbance("clean").enabled is False
+        assert get_disturbance(DisturbanceSpec(sensor_noise_std=1.0)).enabled
+        with pytest.raises(ValueError, match="Unknown disturbance"):
+            get_disturbance("nope")
+
+
+# ----------------------------------------------------------- golden figures
+#: Committed robustness goldens: (mean_total_reward, mean_energy_kwh,
+#: mean_comfort_violation_rate) for pittsburgh/winter/office, days=1,
+#: episodes=1, base_seed=0, serial backend.  Everything here is exactly
+#: deterministic, so the tolerance only absorbs float-repr rounding.
+GOLDEN_ROBUSTNESS = {
+    ("rule_based", "clean"): (-53.2519655772, 18.2175475665, 0.1875),
+    ("hysteresis", "clean"): (-7.9493762962, 24.6428062803, 0.0833333333),
+    ("pid", "clean"): (-10.5621405552, 25.7507480140, 0.0833333333),
+    ("ema", "clean"): (-4.9693762962, 19.3847163975, 0.0833333333),
+    ("rule_based", "sensor_noise"): (-53.2519655772, 18.2175475665, 0.1875),
+    ("hysteresis", "sensor_noise"): (-7.3193762962, 27.4922536660, 0.0833333333),
+    ("pid", "sensor_noise"): (-10.4621405552, 34.1646196447, 0.0833333333),
+    ("ema", "sensor_noise"): (-5.0393762962, 19.9299023238, 0.0833333333),
+    ("rule_based", "weak_hvac"): (-64.6173511071, 16.7129528749, 0.375),
+    ("hysteresis", "weak_hvac"): (-16.6390162259, 21.2521482453, 0.2291666667),
+    ("pid", "weak_hvac"): (-18.6320893059, 21.9045727381, 0.1875),
+    ("ema", "weak_hvac"): (-14.0990162259, 16.9362963478, 0.2291666667),
+    ("rule_based", "rough_day"): (-53.1993362095, 17.7549789653, 0.25),
+    ("hysteresis", "rough_day"): (-9.9509308215, 23.2148562702, 0.125),
+    ("pid", "rough_day"): (-12.8602685816, 26.6039345086, 0.1041666667),
+    ("ema", "rough_day"): (-7.6709308215, 19.0857449387, 0.125),
+}
+
+
+class TestGoldenRobustnessTable:
+    @pytest.mark.parametrize("fault", ["clean", "sensor_noise", "weak_hvac", "rough_day"])
+    def test_classical_agents_match_goldens(self, fault):
+        spec = ScenarioSpec.from_name(f"pittsburgh/winter/office/{fault}", days=DAYS)
+        runner = ExperimentRunner(spec, episodes=1, base_seed=0, backend="serial")
+        for agent in ("rule_based", "hysteresis", "pid", "ema"):
+            result = runner.run(agent)
+            reward, energy, violation = GOLDEN_ROBUSTNESS[(agent, fault)]
+            assert result.mean_total_reward == pytest.approx(reward, abs=1e-9)
+            assert result.mean_energy_kwh == pytest.approx(energy, abs=1e-9)
+            assert result.mean_comfort_violation_rate == pytest.approx(
+                violation, abs=1e-9
+            )
